@@ -1,0 +1,49 @@
+// Command llhd-bench regenerates the paper's evaluation tables (§6) from
+// this reproduction: Table 2 (simulation performance across the reference
+// interpreter, the compiled simulator, and the AST-level commercial
+// substitute), Table 3 (IR feature comparison), and Table 4 (size
+// efficiency of text, bitcode and in-memory representations).
+//
+// Usage:
+//
+//	llhd-bench           # all tables
+//	llhd-bench -table 2  # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llhd/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (2, 3, or 4); 0 = all")
+	flag.Parse()
+
+	if *table == 0 || *table == 2 {
+		rows, err := bench.RunTable2()
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *table == 0 || *table == 3 {
+		bench.PrintTable3(os.Stdout, bench.Table3())
+		fmt.Println()
+	}
+	if *table == 0 || *table == 4 {
+		rows, err := bench.RunTable4()
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintTable4(os.Stdout, rows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llhd-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command llhd-opt runs LLHD transformation passes on a module, mirroring
+// LLVM's opt. By default it runs the full behavioural-to-structural
+// lowering pipeline (§4 of the paper).
+//
+// Usage:
+//
+//	llhd-opt [-passes cf,dce,...] [-print-pipeline] [-verify level] design.llhd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llhd"
+	"llhd/internal/ir"
+	"llhd/internal/pass"
+)
+
+var passByName = map[string]func() pass.Pass{
+	"inline":            pass.Inline,
+	"mem2reg":           pass.Mem2Reg,
+	"cf":                pass.ConstantFold,
+	"is":                pass.InstSimplify,
+	"cse":               pass.CSE,
+	"dce":               pass.DCE,
+	"ecm":               pass.ECM,
+	"tcm":               pass.TCM,
+	"tcfe":              pass.TCFE,
+	"pl":                pass.ProcessLowering,
+	"deseq":             pass.Desequentialize,
+	"inline-entities":   pass.InlineEntities,
+	"signal-forwarding": pass.SignalForwarding,
+}
+
+func main() {
+	passList := flag.String("passes", "", "comma-separated pass list (default: full lowering pipeline)")
+	printPipeline := flag.Bool("print-pipeline", false, "print the default pipeline and exit")
+	verify := flag.String("verify", "", "verify the result at a level: behavioural, structural, netlist")
+	flag.Parse()
+
+	if *printPipeline {
+		fmt.Println(strings.Join(pass.LoweringPipeline().Names(), " -> "))
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llhd-opt [-passes list] [-verify level] design.llhd")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	m, err := llhd.ParseAssembly(name, string(data))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *passList == "" {
+		if err := llhd.Lower(m); err != nil {
+			fatal(err)
+		}
+	} else {
+		var pipeline pass.Pipeline
+		for _, pn := range strings.Split(*passList, ",") {
+			ctor, ok := passByName[strings.TrimSpace(pn)]
+			if !ok {
+				fatal(fmt.Errorf("unknown pass %q", pn))
+			}
+			pipeline.Passes = append(pipeline.Passes, ctor())
+		}
+		if _, err := pipeline.Run(m); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *verify != "" {
+		var lvl ir.Level
+		switch *verify {
+		case "behavioural", "behavioral":
+			lvl = ir.Behavioural
+		case "structural":
+			lvl = ir.Structural
+		case "netlist":
+			lvl = ir.Netlist
+		default:
+			fatal(fmt.Errorf("unknown level %q", *verify))
+		}
+		if err := llhd.Verify(m, lvl); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(llhd.AssemblyString(m))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llhd-opt:", err)
+	os.Exit(1)
+}

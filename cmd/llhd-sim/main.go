@@ -1,0 +1,106 @@
+// Command llhd-sim simulates an LLHD design: the reference interpreter by
+// default, or the compiled engine with -blaze. Input may be assembly text
+// (.llhd) or bitcode.
+//
+// Usage:
+//
+//	llhd-sim [-top name] [-blaze] [-t 100us] [-trace] design.llhd
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llhd"
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+)
+
+func main() {
+	top := flag.String("top", "", "top unit to elaborate (default: last entity in the module)")
+	useBlaze := flag.Bool("blaze", false, "use the compiled simulation engine")
+	limit := flag.String("t", "", "simulation time limit, e.g. 100us (default: run to quiescence)")
+	trace := flag.Bool("trace", false, "print every signal change")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llhd-sim [-top name] [-blaze] [-t 100us] [-trace] design.llhd")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var m *llhd.Module
+	if bytes.HasPrefix(data, []byte("LLHD")) {
+		m, err = llhd.DecodeBitcode(data)
+	} else {
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		m, err = llhd.ParseAssembly(name, string(data))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	topName := *top
+	if topName == "" {
+		for _, u := range m.Units {
+			if u.Kind == ir.UnitEntity {
+				topName = u.Name
+			}
+		}
+		if topName == "" {
+			fatal(fmt.Errorf("no entity found; pass -top"))
+		}
+	}
+
+	var tl ir.Time
+	if *limit != "" {
+		t, err := ir.ParseTime(*limit)
+		if err != nil {
+			fatal(err)
+		}
+		tl = t
+	}
+
+	var eng *engine.Engine
+	if *useBlaze {
+		s, err := llhd.NewCompiled(m, topName)
+		if err != nil {
+			fatal(err)
+		}
+		eng = s.Engine
+	} else {
+		s, err := llhd.NewInterpreter(m, topName)
+		if err != nil {
+			fatal(err)
+		}
+		eng = s.Engine
+	}
+	eng.Tracing = *trace
+	eng.Display = func(s string) { fmt.Println(s) }
+	eng.Init()
+	eng.Run(tl)
+	if err := eng.Err(); err != nil {
+		fatal(err)
+	}
+	if *trace {
+		for _, te := range eng.Trace {
+			fmt.Printf("%-14v %s = %s\n", te.Time, te.Sig.Name, te.Value)
+		}
+	}
+	fmt.Printf("simulation finished at %v: %d delta steps, %d events, %d assertion failures\n",
+		eng.Now, eng.DeltaCount, eng.EventCount, eng.Failures)
+	if eng.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llhd-sim:", err)
+	os.Exit(1)
+}

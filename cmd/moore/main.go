@@ -1,0 +1,64 @@
+// Command moore is the HDL compiler driver: it maps SystemVerilog source
+// files to Behavioural LLHD, printed as assembly text or written as
+// bitcode (the Clang analog of the LLHD project, §3 of the paper).
+//
+// Usage:
+//
+//	moore [-o out.llhd] [-bitcode] [-lower] design.sv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llhd"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	emitBitcode := flag.Bool("bitcode", false, "emit binary bitcode instead of assembly text")
+	lower := flag.Bool("lower", false, "run the behavioural-to-structural lowering (§4)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: moore [-o out.llhd] [-bitcode] [-lower] design.sv")
+		os.Exit(2)
+	}
+	srcPath := flag.Arg(0)
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(srcPath), filepath.Ext(srcPath))
+	m, err := llhd.CompileSystemVerilog(name, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *lower {
+		if err := llhd.Lower(m); err != nil {
+			fatal(err)
+		}
+	}
+	var data []byte
+	if *emitBitcode {
+		if data, err = llhd.EncodeBitcode(m); err != nil {
+			fatal(err)
+		}
+	} else {
+		data = []byte(llhd.AssemblyString(m))
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "moore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// RISC-V: compile the RV32I core of the benchmark suite from
+// SystemVerilog, simulate it on both engines, and compare: the preloaded
+// program sums the integers 1..100 and halts with the result in x10.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"llhd"
+	"llhd/internal/designs"
+)
+
+func main() {
+	d, err := designs.ByName("riscv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m1, err := llhd.CompileSystemVerilog(d.Name, d.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2, err := llhd.CompileSystemVerilog(d.Name, d.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Now()
+	interp, err := llhd.NewInterpreter(m1, d.Top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := interp.Run(llhd.Time{}); err != nil {
+		log.Fatal(err)
+	}
+	interpTime := time.Since(t0)
+
+	t0 = time.Now()
+	compiled, err := llhd.NewCompiled(m2, d.Top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := compiled.Run(llhd.Time{}); err != nil {
+		log.Fatal(err)
+	}
+	compiledTime := time.Since(t0)
+
+	result := interp.Engine.SignalByName("riscv_tb.result")
+	done := interp.Engine.SignalByName("riscv_tb.done")
+	fmt.Printf("core halted: done=%s, x10 = %s (want 5050)\n", done.Value(), result.Value())
+	fmt.Printf("assertion failures: interpreter %d, compiled %d\n",
+		interp.Engine.Failures, compiled.Engine.Failures)
+	fmt.Printf("interpreter: %v (%d delta steps)\n", interpTime, interp.Engine.DeltaCount)
+	fmt.Printf("compiled:    %v (%d delta steps)\n", compiledTime, compiled.Engine.DeltaCount)
+}

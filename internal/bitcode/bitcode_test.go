@@ -1,0 +1,94 @@
+package bitcode_test
+
+import (
+	"testing"
+
+	"llhd/internal/assembly"
+	"llhd/internal/bitcode"
+	"llhd/internal/designs"
+	"llhd/internal/ir"
+	"llhd/internal/moore"
+)
+
+const sample = `
+entity @top () -> () {
+  %z1 = const i1 0
+  %z32 = const i32 0
+  %clk = sig i1 %z1
+  %q = sig i32 %z32
+  inst @ff (i1$ %clk) -> (i32$ %q)
+}
+entity @ff (i1$ %clk) -> (i32$ %q) {
+  %delay = const time 1ns
+  %one = const i32 1
+  %clkp = prb i1$ %clk
+  %qp = prb i32$ %q
+  %qn = add i32 %qp, %one
+  reg i32$ %q, %qn rise %clkp after %delay
+}
+func @f (i32 %a, i1 %c) i32 {
+ entry:
+  %one = const i32 1
+  br %c, %no, %yes
+ yes:
+  %r = add i32 %a, %one
+  ret i32 %r
+ no:
+  ret i32 %a
+}
+`
+
+func TestRoundTrip(t *testing.T) {
+	m1 := assembly.MustParse("sample", sample)
+	data, err := bitcode.Encode(m1)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	m2, err := bitcode.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	a, b := assembly.String(m1), assembly.String(m2)
+	if a != b {
+		t.Errorf("round trip changed the module:\n--- before ---\n%s\n--- after ---\n%s", a, b)
+	}
+	if err := ir.Verify(m2, ir.Behavioural); err != nil {
+		t.Errorf("decoded module invalid: %v", err)
+	}
+}
+
+func TestRoundTripAllDesigns(t *testing.T) {
+	for _, d := range designs.All() {
+		t.Run(d.Name, func(t *testing.T) {
+			m1, err := moore.Compile(d.Name, d.Source)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			data, err := bitcode.Encode(m1)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			m2, err := bitcode.Decode(data)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if assembly.String(m1) != assembly.String(m2) {
+				t.Error("round trip changed the module")
+			}
+			// Bitcode must be much smaller than the assembly text (§6.3).
+			text := len(assembly.String(m1))
+			if len(data) >= text {
+				t.Errorf("bitcode (%d B) not smaller than text (%d B)", len(data), text)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := bitcode.Decode([]byte("not bitcode")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := bitcode.Decode([]byte{'L', 'L', 'H', 'D', 1, 0xFF, 0xFF}); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Package blaze implements the optimized LLHD simulator (the paper's
+// LLHD-Blaze, §6.1). Where the reference interpreter (internal/sim) walks
+// the IR instruction graph with map-based environments, blaze compiles
+// every unit instance ahead of time into arrays of Go closures operating
+// on a flat, slot-indexed register file. This removes all per-instruction
+// dispatch (map lookups, interface assertions, operand resolution) from
+// the simulation hot loop — the same effect the paper obtains with
+// LLVM-based JIT compilation, within a pure-Go implementation.
+//
+// Blaze shares the event kernel (internal/engine) with the interpreter, so
+// both produce identical traces; only the per-activation execution differs.
+package blaze
+
+import (
+	"fmt"
+
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// Simulator couples a compiled design with the event engine.
+type Simulator struct {
+	Engine *engine.Engine
+	Module *ir.Module
+	Top    string
+
+	funcs map[string]*compiledFunc
+}
+
+// New compiles and elaborates the design hierarchy under the top unit.
+func New(m *ir.Module, top string) (*Simulator, error) {
+	e := engine.New()
+	s := &Simulator{Engine: e, Module: m, Top: top, funcs: map[string]*compiledFunc{}}
+	factory := func(inst *engine.Instance) (engine.Process, error) {
+		return s.compileInstance(inst)
+	}
+	if err := engine.Elaborate(e, m, top, factory); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run initializes and simulates to completion (or the time limit).
+func (s *Simulator) Run(limit ir.Time) error {
+	s.Engine.Init()
+	s.Engine.Run(limit)
+	return s.Engine.Err()
+}
+
+// step is one compiled instruction: it mutates the register file and
+// optionally interacts with the engine.
+type step func(p *proc, e *engine.Engine) error
+
+// blockCode is a compiled basic block: straight-line steps plus a
+// terminator that returns the next block index (or a suspend code).
+type blockCode struct {
+	steps []step
+	term  func(p *proc, e *engine.Engine) (int, error)
+}
+
+// Terminator sentinels.
+const (
+	blockSuspend = -1 // wait executed: return control to the engine
+	blockHalt    = -2
+)
+
+// proc is one compiled unit instance: the register file plus its code.
+type proc struct {
+	name   string
+	code   []blockCode
+	regs   []val.Value
+	sigs   []engine.SigRef // signal slot table
+	cur    int             // resume block index
+	entity bool
+	halted bool
+	sim    *Simulator
+	retVal val.Value // function frames only
+}
+
+func (p *proc) Name() string { return p.name }
+
+func (p *proc) Init(e *engine.Engine) {
+	if p.entity {
+		p.subscribeEntity(e)
+	}
+	p.cur = 0
+	p.run(e)
+}
+
+func (p *proc) Wake(e *engine.Engine) {
+	if p.halted {
+		return
+	}
+	if p.entity {
+		p.cur = 0
+	}
+	p.run(e)
+}
+
+func (p *proc) run(e *engine.Engine) {
+	const maxSteps = 100_000_000
+	for steps := 0; steps < maxSteps; steps++ {
+		if p.cur < 0 || p.cur >= len(p.code) {
+			e.Halt(p)
+			p.halted = true
+			return
+		}
+		bc := &p.code[p.cur]
+		for _, st := range bc.steps {
+			if err := st(p, e); err != nil {
+				e.SetError(fmt.Errorf("blaze: %s: %w", p.name, err))
+				return
+			}
+		}
+		next, err := bc.term(p, e)
+		if err != nil {
+			e.SetError(fmt.Errorf("blaze: %s: %w", p.name, err))
+			return
+		}
+		switch next {
+		case blockSuspend:
+			return
+		case blockHalt:
+			e.Halt(p)
+			p.halted = true
+			return
+		default:
+			p.cur = next
+		}
+	}
+	e.SetError(fmt.Errorf("blaze: %s: step budget exhausted", p.name))
+}
+
+// subscribeEntity arms permanent sensitivity on every probed signal.
+func (p *proc) subscribeEntity(e *engine.Engine) {
+	seen := map[*engine.Signal]bool{}
+	var refs []engine.SigRef
+	for _, r := range p.sigs {
+		if r.Sig != nil && !seen[r.Sig] {
+			seen[r.Sig] = true
+			refs = append(refs, r)
+		}
+	}
+	e.Subscribe(p, refs)
+}

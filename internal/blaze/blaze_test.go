@@ -1,0 +1,296 @@
+package blaze_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"llhd/internal/assembly"
+	"llhd/internal/blaze"
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/moore"
+	"llhd/internal/sim"
+)
+
+// traceOf runs a simulation and renders its change trace as strings.
+func traceStrings(t *testing.T, e *engine.Engine) []string {
+	t.Helper()
+	var out []string
+	for _, te := range e.Trace {
+		out = append(out, fmt.Sprintf("%v %s=%s", te.Time, te.Sig.Name, te.Value))
+	}
+	return out
+}
+
+// runBoth simulates the module with the interpreter and the compiled
+// simulator and returns both traces.
+func runBoth(t *testing.T, m1, m2 *ir.Module, top string) (interp, compiled []string) {
+	t.Helper()
+	si, err := sim.New(m1, top)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	si.Engine.Tracing = true
+	if err := si.Run(ir.Time{}); err != nil {
+		t.Fatalf("interpreter run: %v", err)
+	}
+
+	bz, err := blaze.New(m2, top)
+	if err != nil {
+		t.Fatalf("blaze.New: %v", err)
+	}
+	bz.Engine.Tracing = true
+	if err := bz.Run(ir.Time{}); err != nil {
+		t.Fatalf("blaze run: %v", err)
+	}
+	return traceStrings(t, si.Engine), traceStrings(t, bz.Engine)
+}
+
+func compareTraces(t *testing.T, interp, compiled []string) {
+	t.Helper()
+	if len(interp) == 0 {
+		t.Fatal("interpreter trace is empty")
+	}
+	if len(interp) != len(compiled) {
+		t.Fatalf("trace lengths differ: interpreter %d vs compiled %d", len(interp), len(compiled))
+	}
+	for i := range interp {
+		if interp[i] != compiled[i] {
+			t.Fatalf("traces diverge at %d:\n  interp:   %s\n  compiled: %s", i, interp[i], compiled[i])
+		}
+	}
+}
+
+const counterSrc = `
+entity @top () -> () {
+  %zero1 = const i1 0
+  %zero8 = const i32 0
+  %clk = sig i1 %zero1
+  %count = sig i32 %zero8
+  inst @clkgen () -> (i1$ %clk)
+  inst @counter (i1$ %clk) -> (i32$ %count)
+}
+proc @clkgen () -> (i1$ %clk) {
+ entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %half = const time 5ns
+  %n = const i32 50
+  %zero = const i32 0
+  %one = const i32 1
+  %i = var i32 %zero
+  br %loop
+ loop:
+  drv i1$ %clk, %b1 after %half
+  wait %lo for %half
+ lo:
+  drv i1$ %clk, %b0 after %half
+  wait %next for %half
+ next:
+  %ip = ld i32* %i
+  %in = add i32 %ip, %one
+  st i32* %i, %in
+  %more = ult i32 %in, %n
+  br %more, %end, %loop
+ end:
+  halt
+}
+proc @counter (i1$ %clk) -> (i32$ %count) {
+ init:
+  %one = const i32 1
+  %dz = const time 0s
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+ check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %pos = and i1 %chg, %clk1
+  br %pos, %init, %bump
+ bump:
+  %c = prb i32$ %count
+  %cn = add i32 %c, %one
+  drv i32$ %count, %cn after %dz
+  br %init
+}
+`
+
+func TestTracesMatchCounter(t *testing.T) {
+	m1 := assembly.MustParse("c", counterSrc)
+	m2 := assembly.MustParse("c", counterSrc)
+	interp, compiled := runBoth(t, m1, m2, "top")
+	compareTraces(t, interp, compiled)
+}
+
+// TestTracesMatchFigure3 compiles the paper's Figure 3 SystemVerilog with
+// Moore and cross-validates interpreter and compiled simulation — the
+// §6.1 claim on a real HDL input.
+func TestTracesMatchFigure3(t *testing.T) {
+	const src = `
+module acc_tb;
+  bit clk, en;
+  bit [31:0] x, q;
+  acc i_dut (.*);
+  initial begin
+    automatic bit [31:0] i = 0;
+    en <= #2ns 1;
+    do begin
+      x <= #2ns i;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end while (i++ < 50);
+  end
+endmodule
+module acc (input clk, input [31:0] x, input en, output [31:0] q);
+  bit [31:0] d;
+  always_ff @(posedge clk) q <= #1ns d;
+  always_comb begin
+    d <= #2ns q;
+    if (en) d <= #2ns q+x;
+  end
+endmodule
+`
+	m1, err := moore.Compile("acc", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m2, err := moore.Compile("acc", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	interp, compiled := runBoth(t, m1, m2, "acc_tb")
+	compareTraces(t, interp, compiled)
+}
+
+// TestTracesMatchStructuralReg cross-validates the reg instruction.
+func TestTracesMatchStructuralReg(t *testing.T) {
+	const src = `
+entity @top () -> () {
+  %z1 = const i1 0
+  %z32 = const i32 0
+  %clk = sig i1 %z1
+  %d = sig i32 %z32
+  %q = sig i32 %z32
+  inst @ff (i1$ %clk, i32$ %d) -> (i32$ %q)
+  inst @stim (i32$ %q) -> (i1$ %clk, i32$ %d)
+}
+entity @ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+  %delay = const time 1ns
+  %clkp = prb i1$ %clk
+  %dp = prb i32$ %d
+  reg i32$ %q, %dp rise %clkp after %delay
+}
+proc @stim (i32$ %q) -> (i1$ %clk, i32$ %d) {
+ entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %zero = const i32 0
+  %one = const i32 1
+  %n = const i32 30
+  %d2 = const time 2ns
+  %i = var i32 %zero
+  br %loop
+ loop:
+  %ip = ld i32* %i
+  drv i32$ %d, %ip after %d2
+  wait %hi for %d2
+ hi:
+  drv i1$ %clk, %b1 after %d2
+  wait %lo for %d2
+ lo:
+  drv i1$ %clk, %b0 after %d2
+  wait %next for %d2
+ next:
+  %in = add i32 %ip, %one
+  st i32* %i, %in
+  %more = ult i32 %ip, %n
+  br %more, %done, %loop
+ done:
+  halt
+}
+`
+	m1 := assembly.MustParse("r", src)
+	m2 := assembly.MustParse("r", src)
+	interp, compiled := runBoth(t, m1, m2, "top")
+	compareTraces(t, interp, compiled)
+}
+
+// TestBlazeFunctionCalls checks compiled function invocation including
+// recursion.
+func TestBlazeFunctionCalls(t *testing.T) {
+	const src = `
+entity @top () -> () {
+  inst @p () -> ()
+}
+proc @p () -> () {
+ entry:
+  %n = const i32 12
+  %f = call i32 @fib (i32 %n)
+  %want = const i32 144
+  %ok = eq i32 %f, %want
+  call void @llhd.assert (i1 %ok)
+  halt
+}
+func @fib (i32 %n) i32 {
+ entry:
+  %one = const i32 1
+  %two = const i32 2
+  %base = ule i32 %n, %two
+  br %base, %rec, %ret1
+ ret1:
+  ret i32 %one
+ rec:
+  %nm1 = sub i32 %n, %one
+  %nm2 = sub i32 %n, %two
+  %a = call i32 @fib (i32 %nm1)
+  %b = call i32 @fib (i32 %nm2)
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+`
+	m := assembly.MustParse("f", src)
+	s, err := blaze.New(m, "top")
+	if err != nil {
+		t.Fatalf("blaze.New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("fib(12) wrong: %d assertion failures", s.Engine.Failures)
+	}
+}
+
+// TestBlazeFasterThanInterpreter is a coarse performance sanity check: the
+// compiled simulator must beat the interpreter on a busy design. It guards
+// the Table 2 "Int >> JIT" shape without being a benchmark.
+func TestBlazeFasterThanInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	m1 := assembly.MustParse("c", counterSrc)
+	m2 := assembly.MustParse("c", counterSrc)
+
+	timeRun := func(run func()) float64 {
+		t0 := time.Now()
+		run()
+		return time.Since(t0).Seconds()
+	}
+	var interpTime, blazeTime float64
+	interpTime = timeRun(func() {
+		for i := 0; i < 50; i++ {
+			s, _ := sim.New(m1, "top")
+			s.Run(ir.Time{})
+		}
+	})
+	blazeTime = timeRun(func() {
+		for i := 0; i < 50; i++ {
+			s, _ := blaze.New(m2, "top")
+			s.Run(ir.Time{})
+		}
+	})
+	if blazeTime > interpTime {
+		t.Errorf("compiled simulation (%.4fs) slower than interpretation (%.4fs)", blazeTime, interpTime)
+	}
+}

@@ -1,0 +1,952 @@
+package blaze
+
+import (
+	"fmt"
+	"strings"
+
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// compiler builds the slot assignment and closures for one unit instance.
+type compiler struct {
+	sim  *Simulator
+	inst *engine.Instance
+	unit *ir.Unit
+
+	slotOf map[ir.Value]int  // value -> register slot
+	sigOf  map[ir.Value]int  // value -> signal slot (SigRef table)
+	consts map[int]val.Value // slot -> precomputed constant
+	blocks map[*ir.Block]int // block -> code index
+	sigs   []engine.SigRef
+	nregs  int
+
+	probed []engine.SigRef // entity sensitivity
+	pseen  map[*engine.Signal]bool
+}
+
+// compileInstance builds a compiled process for a proc or entity instance.
+func (s *Simulator) compileInstance(inst *engine.Instance) (engine.Process, error) {
+	c := &compiler{
+		sim:    s,
+		inst:   inst,
+		unit:   inst.Unit,
+		slotOf: map[ir.Value]int{},
+		sigOf:  map[ir.Value]int{},
+		consts: map[int]val.Value{},
+		blocks: map[*ir.Block]int{},
+		pseen:  map[*engine.Signal]bool{},
+	}
+	return c.compile()
+}
+
+func (c *compiler) slot(v ir.Value) int {
+	if i, ok := c.slotOf[v]; ok {
+		return i
+	}
+	i := c.nregs
+	c.nregs++
+	c.slotOf[v] = i
+	return i
+}
+
+// sigSlot resolves a statically-known signal reference to a slot in the
+// SigRef table, following extf/exts projections.
+func (c *compiler) sigSlot(v ir.Value) (int, error) {
+	if i, ok := c.sigOf[v]; ok {
+		return i, nil
+	}
+	ref, err := c.resolveSig(v)
+	if err != nil {
+		return 0, err
+	}
+	i := len(c.sigs)
+	c.sigs = append(c.sigs, ref)
+	c.sigOf[v] = i
+	return i, nil
+}
+
+func (c *compiler) resolveSig(v ir.Value) (engine.SigRef, error) {
+	if r, ok := c.inst.Bind[v]; ok {
+		return r, nil
+	}
+	in, ok := v.(*ir.Inst)
+	if !ok {
+		return engine.SigRef{}, fmt.Errorf("value %s is not a signal", v)
+	}
+	switch in.Op {
+	case ir.OpExtF:
+		base, err := c.resolveSig(in.Args[0])
+		if err != nil {
+			return engine.SigRef{}, err
+		}
+		return base.Extend(engine.Proj{Kind: engine.ProjField, A: in.Imm0}), nil
+	case ir.OpExtS:
+		base, err := c.resolveSig(in.Args[0])
+		if err != nil {
+			return engine.SigRef{}, err
+		}
+		return base.Extend(engine.Proj{Kind: engine.ProjSlice, A: in.Imm0, B: in.Imm1}), nil
+	}
+	return engine.SigRef{}, fmt.Errorf("value %s is not a signal", v)
+}
+
+func (c *compiler) markProbed(ref engine.SigRef) {
+	if !c.pseen[ref.Sig] {
+		c.pseen[ref.Sig] = true
+		c.probed = append(c.probed, ref)
+	}
+}
+
+func (c *compiler) compile() (*proc, error) {
+	p := &proc{
+		name:   c.inst.Name,
+		entity: c.unit.Kind == ir.UnitEntity,
+		sim:    c.sim,
+	}
+	for i, b := range c.unit.Blocks {
+		c.blocks[b] = i
+	}
+	// Pre-seed constants known from elaboration.
+	for v, cv := range c.inst.Consts {
+		c.consts[c.slot(v)] = cv
+	}
+
+	for _, b := range c.unit.Blocks {
+		bc, err := c.compileBlock(b)
+		if err != nil {
+			return nil, fmt.Errorf("@%s: %w", c.unit.Name, err)
+		}
+		p.code = append(p.code, bc)
+	}
+	p.regs = make([]val.Value, c.nregs)
+	for slot, cv := range c.consts {
+		p.regs[slot] = cv
+	}
+	p.sigs = c.sigs
+	if p.entity {
+		// Restrict permanent sensitivity to probed signals.
+		p.sigs = c.probed
+	}
+	return p, nil
+}
+
+func (c *compiler) compileBlock(b *ir.Block) (blockCode, error) {
+	var bc blockCode
+	for _, in := range b.Insts {
+		if in.Op.IsTerminator() {
+			term, err := c.compileTerm(b, in)
+			if err != nil {
+				return bc, err
+			}
+			bc.term = term
+			return bc, nil
+		}
+		st, err := c.compileStep(in)
+		if err != nil {
+			return bc, err
+		}
+		if st != nil {
+			bc.steps = append(bc.steps, st)
+		}
+	}
+	// Entity bodies have no terminator: suspend after each evaluation.
+	bc.term = func(p *proc, e *engine.Engine) (int, error) { return blockSuspend, nil }
+	return bc, nil
+}
+
+// phiMoves compiles the phi resolution for the edge from -> to.
+type move struct {
+	src, dst int
+	k        val.Value
+	isConst  bool
+}
+
+func (c *compiler) edgeMoves(from, to *ir.Block) []move {
+	var moves []move
+	for _, in := range to.Insts {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		for i, pb := range in.Dests {
+			if pb == from {
+				mv := move{dst: c.slot(in)}
+				if cv, ok := c.constOperand(in.Args[i]); ok {
+					mv.k = cv
+					mv.isConst = true
+				} else {
+					mv.src = c.slot(in.Args[i])
+				}
+				moves = append(moves, mv)
+				break
+			}
+		}
+	}
+	return moves
+}
+
+func applyMoves(p *proc, moves []move) {
+	if len(moves) == 0 {
+		return
+	}
+	// Simultaneous assignment: gather then scatter.
+	tmp := make([]val.Value, len(moves))
+	for i, m := range moves {
+		if m.isConst {
+			tmp[i] = m.k
+		} else {
+			tmp[i] = p.regs[m.src]
+		}
+	}
+	for i, m := range moves {
+		p.regs[m.dst] = tmp[i]
+	}
+}
+
+// constOperand fetches a compile-time constant for an operand if known.
+func (c *compiler) constOperand(v ir.Value) (val.Value, bool) {
+	if in, ok := v.(*ir.Inst); ok {
+		switch in.Op {
+		case ir.OpConstInt:
+			return val.Int(widthOf(in.Ty), in.IVal), true
+		case ir.OpConstTime:
+			return val.TimeVal(in.TVal), true
+		}
+	}
+	if cv, ok := c.inst.Consts[v]; ok {
+		return cv, true
+	}
+	return val.Value{}, false
+}
+
+func widthOf(ty *ir.Type) int {
+	if ty.IsInt() {
+		return ty.Width
+	}
+	return ty.BitWidth()
+}
+
+// operand compiles an operand access into a fetch function. Constants
+// resolve at compile time.
+func (c *compiler) operand(v ir.Value) func(p *proc) val.Value {
+	if cv, ok := c.constOperand(v); ok {
+		return func(*proc) val.Value { return cv }
+	}
+	s := c.slot(v)
+	return func(p *proc) val.Value { return p.regs[s] }
+}
+
+func (c *compiler) compileTerm(b *ir.Block, in *ir.Inst) (func(p *proc, e *engine.Engine) (int, error), error) {
+	switch in.Op {
+	case ir.OpBr:
+		if len(in.Args) == 0 {
+			next := c.blocks[in.Dests[0]]
+			moves := c.edgeMoves(b, in.Dests[0])
+			return func(p *proc, e *engine.Engine) (int, error) {
+				applyMoves(p, moves)
+				return next, nil
+			}, nil
+		}
+		cond := c.operand(in.Args[0])
+		f, t := c.blocks[in.Dests[0]], c.blocks[in.Dests[1]]
+		fm, tm := c.edgeMoves(b, in.Dests[0]), c.edgeMoves(b, in.Dests[1])
+		return func(p *proc, e *engine.Engine) (int, error) {
+			if cond(p).Bits != 0 {
+				applyMoves(p, tm)
+				return t, nil
+			}
+			applyMoves(p, fm)
+			return f, nil
+		}, nil
+
+	case ir.OpWait:
+		dest := c.blocks[in.Dests[0]]
+		moves := c.edgeMoves(b, in.Dests[0])
+		var refs []engine.SigRef
+		for _, a := range in.Args {
+			ref, err := c.resolveSig(a)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, ref)
+		}
+		var timeout func(p *proc) val.Value
+		if in.TimeArg != nil {
+			timeout = c.operand(in.TimeArg)
+		}
+		return func(p *proc, e *engine.Engine) (int, error) {
+			e.Subscribe(p, refs)
+			if timeout != nil {
+				e.ScheduleWake(p, timeout(p).T)
+			}
+			applyMoves(p, moves)
+			p.cur = dest
+			return blockSuspend, nil
+		}, nil
+
+	case ir.OpHalt:
+		return func(p *proc, e *engine.Engine) (int, error) { return blockHalt, nil }, nil
+
+	case ir.OpRet:
+		return nil, fmt.Errorf("ret outside a function")
+
+	case ir.OpUnreachable:
+		return func(p *proc, e *engine.Engine) (int, error) {
+			return 0, fmt.Errorf("reached unreachable")
+		}, nil
+	}
+	return nil, fmt.Errorf("unsupported terminator %s", in.Op)
+}
+
+// compileStep compiles one non-terminator instruction.
+func (c *compiler) compileStep(in *ir.Inst) (step, error) {
+	switch in.Op {
+	case ir.OpConstInt, ir.OpConstTime:
+		cv, _ := c.constOperand(in)
+		c.consts[c.slot(in)] = cv
+		return nil, nil
+
+	case ir.OpPhi:
+		c.slot(in) // slot reserved; filled by edge moves
+		return nil, nil
+
+	case ir.OpSig, ir.OpInst, ir.OpCon:
+		return nil, nil // elaboration artifacts
+
+	case ir.OpPrb:
+		si, err := c.sigSlot(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		c.markProbed(c.sigs[si])
+		d := c.slot(in)
+		sig := c.sigs[si]
+		return func(p *proc, e *engine.Engine) error {
+			p.regs[d] = e.Probe(sig)
+			return nil
+		}, nil
+
+	case ir.OpDrv:
+		si, err := c.sigSlot(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		sig := c.sigs[si]
+		value := c.operand(in.Args[1])
+		delay := c.operand(in.Args[2])
+		if len(in.Args) == 4 {
+			cond := c.operand(in.Args[3])
+			return func(p *proc, e *engine.Engine) error {
+				if cond(p).Bits != 0 {
+					e.Drive(sig, value(p), delay(p).T)
+				}
+				return nil
+			}, nil
+		}
+		return func(p *proc, e *engine.Engine) error {
+			e.Drive(sig, value(p), delay(p).T)
+			return nil
+		}, nil
+
+	case ir.OpReg:
+		return c.compileReg(in)
+
+	case ir.OpDel:
+		si, err := c.sigSlot(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		src, err := c.resolveSig(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		c.markProbed(src)
+		sig := c.sigs[si]
+		delay := c.operand(in.Args[2])
+		first := true
+		var prev val.Value
+		return func(p *proc, e *engine.Engine) error {
+			cur := e.Probe(src)
+			if first {
+				first = false
+				prev = cur
+				return nil
+			}
+			if !cur.Eq(prev) {
+				prev = cur
+				e.Drive(sig, cur, delay(p).T)
+			}
+			return nil
+		}, nil
+
+	case ir.OpVar, ir.OpAlloc:
+		d := c.slot(in)
+		if in.Op == ir.OpAlloc {
+			init := val.Default(in.Ty.Elem)
+			return func(p *proc, e *engine.Engine) error {
+				p.regs[d] = init.Clone()
+				return nil
+			}, nil
+		}
+		init := c.operand(in.Args[0])
+		return func(p *proc, e *engine.Engine) error {
+			p.regs[d] = init(p).Clone()
+			return nil
+		}, nil
+
+	case ir.OpLd:
+		d := c.slot(in)
+		src := c.slot(in.Args[0])
+		return func(p *proc, e *engine.Engine) error {
+			p.regs[d] = p.regs[src]
+			return nil
+		}, nil
+
+	case ir.OpSt:
+		dst := c.slot(in.Args[0])
+		v := c.operand(in.Args[1])
+		return func(p *proc, e *engine.Engine) error {
+			p.regs[dst] = v(p)
+			return nil
+		}, nil
+
+	case ir.OpFree:
+		return nil, nil
+
+	case ir.OpCall:
+		return c.compileCall(in)
+
+	case ir.OpExtF:
+		// Signal projection is handled statically by sigSlot when used as
+		// a signal; a value extraction compiles to a step.
+		if in.Ty.IsSignal() {
+			if _, err := c.sigSlot(in); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		d := c.slot(in)
+		base := c.operand(in.Args[0])
+		if len(in.Args) == 2 {
+			idx := c.operand(in.Args[1])
+			return func(p *proc, e *engine.Engine) error {
+				out, err := val.ExtF(base(p), int(idx(p).Bits))
+				if err != nil {
+					return err
+				}
+				p.regs[d] = out
+				return nil
+			}, nil
+		}
+		k := in.Imm0
+		return func(p *proc, e *engine.Engine) error {
+			out, err := val.ExtF(base(p), k)
+			if err != nil {
+				return err
+			}
+			p.regs[d] = out
+			return nil
+		}, nil
+
+	case ir.OpExtS:
+		if in.Ty.IsSignal() {
+			if _, err := c.sigSlot(in); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		d := c.slot(in)
+		base := c.operand(in.Args[0])
+		off, n := in.Imm0, in.Imm1
+		// Integer bit slices are the hot path: specialize.
+		if in.Args[0].Type().IsInt() {
+			return func(p *proc, e *engine.Engine) error {
+				p.regs[d] = val.Int(n, base(p).Bits>>uint(off))
+				return nil
+			}, nil
+		}
+		return func(p *proc, e *engine.Engine) error {
+			out, err := val.ExtS(base(p), off, n)
+			if err != nil {
+				return err
+			}
+			p.regs[d] = out
+			return nil
+		}, nil
+
+	case ir.OpInsF:
+		d := c.slot(in)
+		base := c.operand(in.Args[0])
+		v := c.operand(in.Args[1])
+		if len(in.Args) == 3 {
+			idx := c.operand(in.Args[2])
+			return func(p *proc, e *engine.Engine) error {
+				out, err := val.InsF(base(p), v(p), int(idx(p).Bits))
+				if err != nil {
+					return err
+				}
+				p.regs[d] = out
+				return nil
+			}, nil
+		}
+		k := in.Imm0
+		return func(p *proc, e *engine.Engine) error {
+			out, err := val.InsF(base(p), v(p), k)
+			if err != nil {
+				return err
+			}
+			p.regs[d] = out
+			return nil
+		}, nil
+
+	case ir.OpInsS:
+		d := c.slot(in)
+		base := c.operand(in.Args[0])
+		v := c.operand(in.Args[1])
+		off, n := in.Imm0, in.Imm1
+		if in.Args[0].Type().IsInt() {
+			w := in.Args[0].Type().Width
+			mask := ir.MaskWidth(^uint64(0), n) << uint(off)
+			return func(p *proc, e *engine.Engine) error {
+				bits := base(p).Bits&^mask | v(p).Bits<<uint(off)&mask
+				p.regs[d] = val.Int(w, bits)
+				return nil
+			}, nil
+		}
+		return func(p *proc, e *engine.Engine) error {
+			out, err := val.InsS(base(p), v(p), off, n)
+			if err != nil {
+				return err
+			}
+			p.regs[d] = out
+			return nil
+		}, nil
+
+	case ir.OpMux:
+		d := c.slot(in)
+		arr := c.operand(in.Args[0])
+		sel := c.operand(in.Args[1])
+		return func(p *proc, e *engine.Engine) error {
+			choices := arr(p)
+			i := int(sel(p).Bits)
+			if i >= len(choices.Elems) {
+				i = len(choices.Elems) - 1
+			}
+			p.regs[d] = choices.Elems[i]
+			return nil
+		}, nil
+
+	case ir.OpArray, ir.OpStruct:
+		d := c.slot(in)
+		fetch := make([]func(p *proc) val.Value, len(in.Args))
+		for i, a := range in.Args {
+			fetch[i] = c.operand(a)
+		}
+		return func(p *proc, e *engine.Engine) error {
+			elems := make([]val.Value, len(fetch))
+			for i, f := range fetch {
+				elems[i] = f(p)
+			}
+			p.regs[d] = val.Agg(elems)
+			return nil
+		}, nil
+
+	case ir.OpNot:
+		d := c.slot(in)
+		a := c.operand(in.Args[0])
+		w := widthOf(in.Ty)
+		return func(p *proc, e *engine.Engine) error {
+			p.regs[d] = val.Int(w, ^a(p).Bits)
+			return nil
+		}, nil
+
+	case ir.OpNeg:
+		d := c.slot(in)
+		a := c.operand(in.Args[0])
+		w := widthOf(in.Ty)
+		return func(p *proc, e *engine.Engine) error {
+			p.regs[d] = val.Int(w, -a(p).Bits)
+			return nil
+		}, nil
+	}
+
+	if in.Op.IsBinary() || in.Op.IsCompare() {
+		return c.compileBinary(in)
+	}
+	return nil, fmt.Errorf("unsupported instruction %s", in.Op)
+}
+
+// compileBinary specializes the integer fast paths.
+func (c *compiler) compileBinary(in *ir.Inst) (step, error) {
+	d := c.slot(in)
+	a := c.operand(in.Args[0])
+	b := c.operand(in.Args[1])
+	op := in.Op
+
+	if in.Args[0].Type().IsInt() || in.Args[0].Type().IsEnum() {
+		w := widthOf(in.Args[0].Type())
+		var f func(x, y uint64) uint64
+		switch op {
+		case ir.OpAnd:
+			f = func(x, y uint64) uint64 { return x & y }
+		case ir.OpOr:
+			f = func(x, y uint64) uint64 { return x | y }
+		case ir.OpXor:
+			f = func(x, y uint64) uint64 { return x ^ y }
+		case ir.OpAdd:
+			f = func(x, y uint64) uint64 { return x + y }
+		case ir.OpSub:
+			f = func(x, y uint64) uint64 { return x - y }
+		case ir.OpMul:
+			f = func(x, y uint64) uint64 { return x * y }
+		case ir.OpShl:
+			f = func(x, y uint64) uint64 {
+				if y >= 64 {
+					return 0
+				}
+				return x << y
+			}
+		case ir.OpShr:
+			f = func(x, y uint64) uint64 {
+				if y >= 64 {
+					return 0
+				}
+				return x >> y
+			}
+		case ir.OpAshr:
+			f = func(x, y uint64) uint64 {
+				sh := y
+				if sh >= uint64(w) {
+					sh = uint64(w - 1)
+				}
+				return uint64(ir.SignExtend(x, w) >> sh)
+			}
+		case ir.OpEq:
+			return c.boolStep(d, func(p *proc) bool { return a(p).Eq(b(p)) }), nil
+		case ir.OpNeq:
+			return c.boolStep(d, func(p *proc) bool { return !a(p).Eq(b(p)) }), nil
+		case ir.OpUlt:
+			return c.boolStep(d, func(p *proc) bool { return a(p).Bits < b(p).Bits }), nil
+		case ir.OpUgt:
+			return c.boolStep(d, func(p *proc) bool { return a(p).Bits > b(p).Bits }), nil
+		case ir.OpUle:
+			return c.boolStep(d, func(p *proc) bool { return a(p).Bits <= b(p).Bits }), nil
+		case ir.OpUge:
+			return c.boolStep(d, func(p *proc) bool { return a(p).Bits >= b(p).Bits }), nil
+		case ir.OpSlt:
+			return c.boolStep(d, func(p *proc) bool {
+				return ir.SignExtend(a(p).Bits, w) < ir.SignExtend(b(p).Bits, w)
+			}), nil
+		case ir.OpSgt:
+			return c.boolStep(d, func(p *proc) bool {
+				return ir.SignExtend(a(p).Bits, w) > ir.SignExtend(b(p).Bits, w)
+			}), nil
+		case ir.OpSle:
+			return c.boolStep(d, func(p *proc) bool {
+				return ir.SignExtend(a(p).Bits, w) <= ir.SignExtend(b(p).Bits, w)
+			}), nil
+		case ir.OpSge:
+			return c.boolStep(d, func(p *proc) bool {
+				return ir.SignExtend(a(p).Bits, w) >= ir.SignExtend(b(p).Bits, w)
+			}), nil
+		case ir.OpUdiv, ir.OpSdiv, ir.OpUmod, ir.OpSmod:
+			return func(p *proc, e *engine.Engine) error {
+				out, err := val.Binary(op, a(p), b(p))
+				if err != nil {
+					return err
+				}
+				p.regs[d] = out
+				return nil
+			}, nil
+		}
+		if f != nil {
+			return func(p *proc, e *engine.Engine) error {
+				p.regs[d] = val.Int(w, f(a(p).Bits, b(p).Bits))
+				return nil
+			}, nil
+		}
+	}
+	// Generic path (logic vectors, times, aggregates).
+	return func(p *proc, e *engine.Engine) error {
+		out, err := val.Binary(op, a(p), b(p))
+		if err != nil {
+			return err
+		}
+		p.regs[d] = out
+		return nil
+	}, nil
+}
+
+func (c *compiler) boolStep(d int, f func(p *proc) bool) step {
+	return func(p *proc, e *engine.Engine) error {
+		if f(p) {
+			p.regs[d] = val.Int(1, 1)
+		} else {
+			p.regs[d] = val.Int(1, 0)
+		}
+		return nil
+	}
+}
+
+// compileReg compiles a reg storage element with captured edge state.
+func (c *compiler) compileReg(in *ir.Inst) (step, error) {
+	si, err := c.sigSlot(in.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	sig := c.sigs[si]
+	var delay func(p *proc) val.Value
+	if in.Delay != nil {
+		delay = c.operand(in.Delay)
+	}
+	type trig struct {
+		mode    ir.RegMode
+		value   func(p *proc) val.Value
+		trigger func(p *proc) val.Value
+		gate    func(p *proc) val.Value
+	}
+	var trigs []trig
+	for _, tr := range in.Triggers {
+		t := trig{
+			mode:    tr.Mode,
+			value:   c.operand(tr.Value),
+			trigger: c.operand(tr.Trigger),
+		}
+		if tr.Gate != nil {
+			t.gate = c.operand(tr.Gate)
+		}
+		trigs = append(trigs, t)
+	}
+	prev := make([]bool, len(trigs))
+	first := true
+	return func(p *proc, e *engine.Engine) error {
+		if first {
+			first = false
+			for i, t := range trigs {
+				prev[i] = t.trigger(p).Bits != 0
+			}
+			return nil
+		}
+		for i, t := range trigs {
+			now := t.trigger(p).Bits != 0
+			was := prev[i]
+			prev[i] = now
+			var fired bool
+			switch t.mode {
+			case ir.RegRise:
+				fired = !was && now
+			case ir.RegFall:
+				fired = was && !now
+			case ir.RegBoth:
+				fired = was != now
+			case ir.RegHigh:
+				fired = now
+			case ir.RegLow:
+				fired = !now
+			}
+			if !fired {
+				continue
+			}
+			if t.gate != nil && t.gate(p).Bits == 0 {
+				continue
+			}
+			d := ir.Time{}
+			if delay != nil {
+				d = delay(p).T
+			}
+			e.Drive(sig, t.value(p), d)
+			break
+		}
+		return nil
+	}, nil
+}
+
+// ------------------------------------------------------------- functions
+
+// compiledFunc is a compiled function unit.
+type compiledFunc struct {
+	name       string
+	code       []blockCode
+	nregs      int
+	args       []int // arg slots
+	hasRet     bool
+	constSlots map[int]val.Value
+}
+
+// compileCall dispatches intrinsics and function calls.
+func (c *compiler) compileCall(in *ir.Inst) (step, error) {
+	fetch := make([]func(p *proc) val.Value, len(in.Args))
+	for i, a := range in.Args {
+		fetch[i] = c.operand(a)
+	}
+	if strings.HasPrefix(in.Callee, "llhd.") {
+		name := in.Callee
+		d := -1
+		if !in.Ty.IsVoid() {
+			d = c.slot(in)
+		}
+		return func(p *proc, e *engine.Engine) error {
+			switch name {
+			case "llhd.assert":
+				if fetch[0](p).Bits == 0 {
+					e.OnAssert(name, e.Now)
+				}
+			case "llhd.display":
+				if e.Display != nil {
+					parts := make([]string, len(fetch))
+					for i, f := range fetch {
+						parts[i] = f(p).String()
+					}
+					e.Display(strings.Join(parts, " "))
+				}
+			case "llhd.time":
+				if d >= 0 {
+					p.regs[d] = val.TimeVal(e.Now)
+				}
+			default:
+				return fmt.Errorf("unknown intrinsic @%s", name)
+			}
+			return nil
+		}, nil
+	}
+
+	cf, err := c.sim.compileFunc(in.Callee)
+	if err != nil {
+		return nil, err
+	}
+	d := -1
+	if !in.Ty.IsVoid() {
+		d = c.slot(in)
+	}
+	return func(p *proc, e *engine.Engine) error {
+		rv, err := cf.invoke(p.sim, e, fetch, p)
+		if err != nil {
+			return err
+		}
+		if d >= 0 {
+			p.regs[d] = rv
+		}
+		return nil
+	}, nil
+}
+
+// compileFunc compiles (and caches) a function unit.
+func (s *Simulator) compileFunc(name string) (*compiledFunc, error) {
+	if cf, ok := s.funcs[name]; ok {
+		return cf, nil
+	}
+	fn := s.Module.Unit(name)
+	if fn == nil {
+		return nil, fmt.Errorf("call to undefined @%s", name)
+	}
+	if fn.Kind != ir.UnitFunc {
+		return nil, fmt.Errorf("call target @%s is a %s", name, fn.Kind)
+	}
+	cf := &compiledFunc{name: name, hasRet: !fn.RetType.IsVoid()}
+	s.funcs[name] = cf // pre-register to tolerate recursion
+
+	fc := &compiler{
+		sim:    s,
+		inst:   &engine.Instance{Unit: fn, Bind: map[ir.Value]engine.SigRef{}, Consts: map[ir.Value]val.Value{}},
+		unit:   fn,
+		slotOf: map[ir.Value]int{},
+		sigOf:  map[ir.Value]int{},
+		consts: map[int]val.Value{},
+		blocks: map[*ir.Block]int{},
+		pseen:  map[*engine.Signal]bool{},
+	}
+	for i, b := range fn.Blocks {
+		fc.blocks[b] = i
+	}
+	for _, a := range fn.Inputs {
+		cf.args = append(cf.args, fc.slot(a))
+	}
+	for _, b := range fn.Blocks {
+		bc, err := fc.compileFuncBlock(b)
+		if err != nil {
+			return nil, fmt.Errorf("@%s: %w", name, err)
+		}
+		cf.code = append(cf.code, bc)
+	}
+	cf.nregs = fc.nregs
+	// Bake elaborated constants into a template register file.
+	cf.constSlots = fc.consts
+	return cf, nil
+}
+
+// compileFuncBlock compiles one function block, treating ret as the
+// terminator writing the special return slot.
+func (c *compiler) compileFuncBlock(b *ir.Block) (blockCode, error) {
+	var bc blockCode
+	for _, in := range b.Insts {
+		if in.Op == ir.OpRet {
+			if len(in.Args) == 1 {
+				src := c.operand(in.Args[0])
+				bc.term = func(p *proc, e *engine.Engine) (int, error) {
+					p.retVal = src(p)
+					return blockHalt, nil
+				}
+			} else {
+				bc.term = func(p *proc, e *engine.Engine) (int, error) { return blockHalt, nil }
+			}
+			return bc, nil
+		}
+		if in.Op.IsTerminator() {
+			term, err := c.compileTerm(b, in)
+			if err != nil {
+				return bc, err
+			}
+			bc.term = term
+			return bc, nil
+		}
+		st, err := c.compileStep(in)
+		if err != nil {
+			return bc, err
+		}
+		if st != nil {
+			bc.steps = append(bc.steps, st)
+		}
+	}
+	return bc, fmt.Errorf("block %s lacks a terminator", b)
+}
+
+// invoke runs a compiled function with a fresh register frame.
+func (cf *compiledFunc) invoke(s *Simulator, e *engine.Engine, fetch []func(p *proc) val.Value, caller *proc) (val.Value, error) {
+	frame := &proc{
+		name: cf.name,
+		code: cf.code,
+		regs: make([]val.Value, cf.nregs),
+		sim:  s,
+	}
+	for slot, cv := range cf.constSlots {
+		frame.regs[slot] = cv
+	}
+	for i, as := range cf.args {
+		frame.regs[as] = fetch[i](caller)
+	}
+	const maxSteps = 100_000_000
+	for steps := 0; steps < maxSteps; steps++ {
+		if frame.cur < 0 || frame.cur >= len(frame.code) {
+			return val.Value{}, fmt.Errorf("@%s: fell off the end", cf.name)
+		}
+		bc := &frame.code[frame.cur]
+		for _, st := range bc.steps {
+			if err := st(frame, e); err != nil {
+				return val.Value{}, err
+			}
+		}
+		next, err := bc.term(frame, e)
+		if err != nil {
+			return val.Value{}, err
+		}
+		if next == blockHalt {
+			return frame.retVal, nil
+		}
+		if next == blockSuspend {
+			return val.Value{}, fmt.Errorf("@%s: function suspended", cf.name)
+		}
+		frame.cur = next
+	}
+	return val.Value{}, fmt.Errorf("@%s: step budget exhausted", cf.name)
+}

@@ -1,0 +1,67 @@
+// Package designs embeds the SystemVerilog benchmark suite of the paper's
+// evaluation (Table 2): ten designs ranging from small arithmetic
+// primitives to a RISC-V core, each with a self-checking testbench.
+package designs
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+)
+
+//go:embed sv/*.sv
+var files embed.FS
+
+// Design describes one benchmark design.
+type Design struct {
+	// Name is the design identifier (file stem).
+	Name string
+	// Display is the row label used in Table 2.
+	Display string
+	// Top is the testbench module to elaborate.
+	Top string
+	// Source is the SystemVerilog text.
+	Source string
+}
+
+// table2 lists the designs in the paper's Table 2 order.
+var table2 = []struct{ name, display, top string }{
+	{"gray", "Gray Enc./Dec.", "gray_tb"},
+	{"fir", "FIR Filter", "fir_tb"},
+	{"lfsr", "LFSR", "lfsr_tb"},
+	{"lzc", "Leading Zero C.", "lzc_tb"},
+	{"fifo", "FIFO Queue", "fifo_tb"},
+	{"cdc_gray", "CDC (Gray)", "cdc_gray_tb"},
+	{"cdc_strobe", "CDC (strobe)", "cdc_strobe_tb"},
+	{"rr_arbiter", "RR Arbiter", "rr_arbiter_tb"},
+	{"stream_delayer", "Stream Delayer", "stream_delayer_tb"},
+	{"riscv", "RISC-V Core", "riscv_tb"},
+}
+
+// All returns the benchmark designs in Table 2 order.
+func All() []Design {
+	out := make([]Design, 0, len(table2))
+	for _, d := range table2 {
+		src, err := files.ReadFile("sv/" + d.name + ".sv")
+		if err != nil {
+			panic(fmt.Sprintf("designs: missing embedded source for %s: %v", d.name, err))
+		}
+		out = append(out, Design{Name: d.name, Display: d.display, Top: d.top, Source: string(src)})
+	}
+	return out
+}
+
+// ByName returns a single design.
+func ByName(name string) (Design, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	var names []string
+	for _, d := range table2 {
+		names = append(names, d.name)
+	}
+	sort.Strings(names)
+	return Design{}, fmt.Errorf("designs: unknown design %q (have %v)", name, names)
+}

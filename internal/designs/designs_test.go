@@ -1,0 +1,119 @@
+package designs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"llhd/internal/blaze"
+	"llhd/internal/designs"
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/moore"
+	"llhd/internal/sim"
+)
+
+// TestAllDesignsCompile checks that every Table 2 design maps to valid
+// Behavioural LLHD.
+func TestAllDesignsCompile(t *testing.T) {
+	for _, d := range designs.All() {
+		t.Run(d.Name, func(t *testing.T) {
+			m, err := moore.Compile(d.Name, d.Source)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if err := ir.Verify(m, ir.Behavioural); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if m.Unit(d.Top) == nil {
+				t.Fatalf("testbench %s missing", d.Top)
+			}
+		})
+	}
+}
+
+// TestAllDesignsSelfCheck simulates every design with the reference
+// interpreter and requires zero assertion failures.
+func TestAllDesignsSelfCheck(t *testing.T) {
+	for _, d := range designs.All() {
+		t.Run(d.Name, func(t *testing.T) {
+			m, err := moore.Compile(d.Name, d.Source)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			s, err := sim.New(m, d.Top)
+			if err != nil {
+				t.Fatalf("sim.New: %v", err)
+			}
+			if err := s.Run(ir.Time{}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if s.Engine.Failures != 0 {
+				t.Errorf("%d assertion failures", s.Engine.Failures)
+			}
+		})
+	}
+}
+
+// TestTracesMatchAllDesigns is the §6.1 claim: "Traces match between the
+// two simulators for all designs". Every design is simulated by the
+// reference interpreter and the compiled simulator; the signal-change
+// traces must be identical.
+func TestTracesMatchAllDesigns(t *testing.T) {
+	for _, d := range designs.All() {
+		t.Run(d.Name, func(t *testing.T) {
+			m1, err := moore.Compile(d.Name, d.Source)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			m2, err := moore.Compile(d.Name, d.Source)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			si, err := sim.New(m1, d.Top)
+			if err != nil {
+				t.Fatalf("sim.New: %v", err)
+			}
+			si.Engine.Tracing = true
+			if err := si.Run(ir.Time{}); err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			bz, err := blaze.New(m2, d.Top)
+			if err != nil {
+				t.Fatalf("blaze.New: %v", err)
+			}
+			bz.Engine.Tracing = true
+			if err := bz.Run(ir.Time{}); err != nil {
+				t.Fatalf("blaze: %v", err)
+			}
+			a, b := render(si.Engine), render(bz.Engine)
+			if len(a) != len(b) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("traces diverge at %d:\n  interp:   %s\n  compiled: %s", i, a[i], b[i])
+				}
+			}
+			if si.Engine.Failures != bz.Engine.Failures {
+				t.Errorf("failure counts differ: %d vs %d", si.Engine.Failures, bz.Engine.Failures)
+			}
+		})
+	}
+}
+
+func render(e *engine.Engine) []string {
+	out := make([]string, 0, len(e.Trace))
+	for _, te := range e.Trace {
+		out = append(out, fmt.Sprintf("%v %s=%s", te.Time, te.Sig.Name, te.Value))
+	}
+	return out
+}
+
+func TestByName(t *testing.T) {
+	if _, err := designs.ByName("riscv"); err != nil {
+		t.Fatalf("ByName(riscv): %v", err)
+	}
+	if _, err := designs.ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}

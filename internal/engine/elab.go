@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"fmt"
+
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// Instance describes one elaborated occurrence of a unit: its hierarchical
+// name, the binding of signal-typed IR values to elaborated nets, and the
+// constants the elaborator could evaluate ahead of time.
+type Instance struct {
+	Unit *ir.Unit
+	Name string
+	// Bind maps signal-typed IR values (arguments, sig results, signal
+	// projections) to elaborated signal references.
+	Bind map[ir.Value]SigRef
+	// Consts maps pure instructions whose operands were all known at
+	// elaboration time to their values.
+	Consts map[ir.Value]val.Value
+}
+
+// ProcFactory builds a simulation actor for a unit instance. The reference
+// interpreter returns an interpreting process; the compiled simulator
+// returns a closure-compiled one. Entities are passed here too: the
+// factory runs their reactive body (everything not evaluated into Consts).
+type ProcFactory func(inst *Instance) (Process, error)
+
+// Elaborate instantiates the design hierarchy rooted at the named top
+// entity (or process), creating signals and processes on the engine.
+func Elaborate(e *Engine, m *ir.Module, top string, factory ProcFactory) error {
+	u := m.Unit(top)
+	if u == nil {
+		return fmt.Errorf("engine: top unit @%s not found", top)
+	}
+	el := &elaborator{e: e, m: m, factory: factory}
+	// The top unit's ports become free signals initialized to defaults.
+	var ins, outs []SigRef
+	for _, a := range u.Inputs {
+		s := e.NewSignal(top+"."+a.ValueName(), a.Type().Elem, val.Default(a.Type().Elem))
+		ins = append(ins, SigRef{Sig: s})
+	}
+	for _, a := range u.Outputs {
+		s := e.NewSignal(top+"."+a.ValueName(), a.Type().Elem, val.Default(a.Type().Elem))
+		outs = append(outs, SigRef{Sig: s})
+	}
+	return el.instantiate(u, top, ins, outs)
+}
+
+type elaborator struct {
+	e       *Engine
+	m       *ir.Module
+	factory ProcFactory
+	nInst   int
+}
+
+func (el *elaborator) instantiate(u *ir.Unit, name string, ins, outs []SigRef) error {
+	if len(ins) != len(u.Inputs) || len(outs) != len(u.Outputs) {
+		return fmt.Errorf("engine: @%s instantiated with %d->%d signals, want %d->%d",
+			u.Name, len(ins), len(outs), len(u.Inputs), len(u.Outputs))
+	}
+	inst := &Instance{
+		Unit:   u,
+		Name:   name,
+		Bind:   map[ir.Value]SigRef{},
+		Consts: map[ir.Value]val.Value{},
+	}
+	for i, a := range u.Inputs {
+		inst.Bind[a] = ins[i]
+	}
+	for i, a := range u.Outputs {
+		inst.Bind[a] = outs[i]
+	}
+
+	switch u.Kind {
+	case ir.UnitProc:
+		p, err := el.factory(inst)
+		if err != nil {
+			return err
+		}
+		el.e.AddProcess(p, true)
+		return nil
+	case ir.UnitEntity:
+		return el.entity(inst)
+	default:
+		return fmt.Errorf("engine: cannot instantiate function @%s", u.Name)
+	}
+}
+
+// entity elaborates an entity instance: evaluates constants, creates local
+// signals, recurses into sub-instances, wires con forwarding, and hands
+// the residual reactive body to the factory.
+func (el *elaborator) entity(inst *Instance) error {
+	u := inst.Unit
+	reactive := 0
+	for _, in := range u.Body().Insts {
+		switch in.Op {
+		case ir.OpSig:
+			init, ok := inst.Consts[in.Args[0]]
+			if !ok {
+				return fmt.Errorf("engine: %s: sig initializer %s is not elaboration-time constant",
+					inst.Name, in.Args[0])
+			}
+			sigName := inst.Name + "." + in.ValueName()
+			if in.ValueName() == "" {
+				sigName = fmt.Sprintf("%s.sig%d", inst.Name, len(el.e.signals))
+			}
+			s := el.e.NewSignal(sigName, in.Type().Elem, init)
+			inst.Bind[in] = SigRef{Sig: s}
+
+		case ir.OpInst:
+			callee := el.m.Unit(in.Callee)
+			if callee == nil {
+				return fmt.Errorf("engine: %s: inst of undefined @%s", inst.Name, in.Callee)
+			}
+			var ins, outs []SigRef
+			for _, a := range in.Args[:in.NumIns] {
+				r, ok := inst.Bind[a]
+				if !ok {
+					return fmt.Errorf("engine: %s: inst @%s input %s is not a bound signal", inst.Name, in.Callee, a)
+				}
+				ins = append(ins, r)
+			}
+			for _, a := range in.Args[in.NumIns:] {
+				r, ok := inst.Bind[a]
+				if !ok {
+					return fmt.Errorf("engine: %s: inst @%s output %s is not a bound signal", inst.Name, in.Callee, a)
+				}
+				outs = append(outs, r)
+			}
+			el.nInst++
+			childName := fmt.Sprintf("%s.%s_%d", inst.Name, in.Callee, el.nInst)
+			if err := el.instantiate(callee, childName, ins, outs); err != nil {
+				return err
+			}
+
+		case ir.OpExtF:
+			if r, ok := inst.Bind[in.Args[0]]; ok {
+				inst.Bind[in] = r.Extend(Proj{Kind: ProjField, A: in.Imm0})
+				continue
+			}
+			if el.tryConst(inst, in) {
+				continue
+			}
+			reactive++
+
+		case ir.OpExtS:
+			if r, ok := inst.Bind[in.Args[0]]; ok {
+				inst.Bind[in] = r.Extend(Proj{Kind: ProjSlice, A: in.Imm0, B: in.Imm1})
+				continue
+			}
+			if el.tryConst(inst, in) {
+				continue
+			}
+			reactive++
+
+		case ir.OpCon:
+			a, aok := inst.Bind[in.Args[0]]
+			b, bok := inst.Bind[in.Args[1]]
+			if !aok || !bok {
+				return fmt.Errorf("engine: %s: con needs two bound signals", inst.Name)
+			}
+			cp := &conProcess{name: inst.Name + ".con", a: a, b: b}
+			el.e.AddProcess(cp, false)
+
+		default:
+			if in.Op.IsPure() || in.Op.IsConst() {
+				if el.tryConst(inst, in) {
+					continue
+				}
+			}
+			reactive++
+		}
+	}
+	if reactive > 0 {
+		p, err := el.factory(inst)
+		if err != nil {
+			return err
+		}
+		el.e.AddProcess(p, false)
+	}
+	return nil
+}
+
+// tryConst evaluates a pure instruction whose operands are all known
+// constants, recording the result in inst.Consts.
+func (el *elaborator) tryConst(inst *Instance, in *ir.Inst) bool {
+	v, err := EvalPure(in, func(x ir.Value) (val.Value, bool) {
+		v, ok := inst.Consts[x]
+		return v, ok
+	})
+	if err != nil {
+		return false
+	}
+	inst.Consts[in] = v
+	return true
+}
+
+// EvalPure evaluates a constant or pure data-flow instruction given a
+// lookup for its operand values. It reports an error if the instruction is
+// not pure or an operand is unavailable.
+func EvalPure(in *ir.Inst, lookup func(ir.Value) (val.Value, bool)) (val.Value, error) {
+	get := func(x ir.Value) (val.Value, error) {
+		v, ok := lookup(x)
+		if !ok {
+			return val.Value{}, fmt.Errorf("engine: operand %s unavailable", x)
+		}
+		return v, nil
+	}
+	switch in.Op {
+	case ir.OpConstInt:
+		return val.Int(widthOf(in.Ty), in.IVal), nil
+	case ir.OpConstTime:
+		return val.TimeVal(in.TVal), nil
+	case ir.OpArray, ir.OpStruct:
+		elems := make([]val.Value, len(in.Args))
+		for i, a := range in.Args {
+			v, err := get(a)
+			if err != nil {
+				return val.Value{}, err
+			}
+			elems[i] = v
+		}
+		return val.Agg(elems), nil
+	case ir.OpNot, ir.OpNeg:
+		a, err := get(in.Args[0])
+		if err != nil {
+			return val.Value{}, err
+		}
+		return val.Unary(in.Op, in.Ty, a)
+	case ir.OpMux:
+		arr, err := get(in.Args[0])
+		if err != nil {
+			return val.Value{}, err
+		}
+		sel, err := get(in.Args[1])
+		if err != nil {
+			return val.Value{}, err
+		}
+		return val.Mux(arr, sel)
+	case ir.OpInsF:
+		a, err := get(in.Args[0])
+		if err != nil {
+			return val.Value{}, err
+		}
+		v, err := get(in.Args[1])
+		if err != nil {
+			return val.Value{}, err
+		}
+		idx := in.Imm0
+		if len(in.Args) == 3 {
+			iv, err := get(in.Args[2])
+			if err != nil {
+				return val.Value{}, err
+			}
+			idx = int(iv.Bits)
+		}
+		return val.InsF(a, v, idx)
+	case ir.OpInsS:
+		a, err := get(in.Args[0])
+		if err != nil {
+			return val.Value{}, err
+		}
+		v, err := get(in.Args[1])
+		if err != nil {
+			return val.Value{}, err
+		}
+		return val.InsS(a, v, in.Imm0, in.Imm1)
+	case ir.OpExtF:
+		a, err := get(in.Args[0])
+		if err != nil {
+			return val.Value{}, err
+		}
+		idx := in.Imm0
+		if len(in.Args) == 2 {
+			iv, err := get(in.Args[1])
+			if err != nil {
+				return val.Value{}, err
+			}
+			idx = int(iv.Bits)
+		}
+		return val.ExtF(a, idx)
+	case ir.OpExtS:
+		a, err := get(in.Args[0])
+		if err != nil {
+			return val.Value{}, err
+		}
+		return val.ExtS(a, in.Imm0, in.Imm1)
+	}
+	if in.Op.IsBinary() || in.Op.IsCompare() {
+		a, err := get(in.Args[0])
+		if err != nil {
+			return val.Value{}, err
+		}
+		b, err := get(in.Args[1])
+		if err != nil {
+			return val.Value{}, err
+		}
+		return val.Binary(in.Op, a, b)
+	}
+	return val.Value{}, fmt.Errorf("engine: %s is not elaboration-time evaluable", in.Op)
+}
+
+func widthOf(ty *ir.Type) int {
+	if ty.IsInt() || ty.IsEnum() {
+		if ty.IsEnum() {
+			return ty.BitWidth()
+		}
+		return ty.Width
+	}
+	return 1
+}
+
+// conProcess implements the con instruction: a bidirectional zero-delay
+// connection. A change on either side is forwarded to the other; equal
+// values produce no change, so forwarding terminates.
+type conProcess struct {
+	name         string
+	a, b         SigRef
+	prevA, prevB val.Value
+}
+
+func (c *conProcess) Name() string { return c.name }
+
+func (c *conProcess) Init(e *Engine) {
+	e.Subscribe(c, []SigRef{c.a, c.b})
+	c.prevA, c.prevB = e.Probe(c.a), e.Probe(c.b)
+	// Propagate the first operand's initial value to the second.
+	e.Drive(c.b, c.prevA, ir.Time{})
+}
+
+func (c *conProcess) Wake(e *Engine) {
+	av, bv := e.Probe(c.a), e.Probe(c.b)
+	switch {
+	case !av.Eq(c.prevA) && !av.Eq(bv):
+		e.Drive(c.b, av, ir.Time{})
+	case !bv.Eq(c.prevB) && !bv.Eq(av):
+		e.Drive(c.a, bv, ir.Time{})
+	}
+	c.prevA, c.prevB = av, bv
+}

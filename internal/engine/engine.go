@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// Process is a simulation actor: an LLHD process instance (interpreted or
+// compiled) or an entity's reactive body. The engine calls Init once at
+// time zero and Wake every time the process's sensitivity set fires or its
+// wait timeout expires.
+type Process interface {
+	// Name returns the hierarchical instance name for diagnostics.
+	Name() string
+	// Init runs the process until its first suspension.
+	Init(e *Engine)
+	// Wake resumes the process after a sensitivity or timeout event.
+	Wake(e *Engine)
+}
+
+// procEntry tracks one registered process and its scheduling state.
+type procEntry struct {
+	proc Process
+	// oneShot: sensitivity is cleared when the process wakes (processes
+	// re-arm at each wait). Entities keep their sensitivity forever.
+	oneShot bool
+	// armed sensitivity generation: invalidates stale subscriptions and
+	// pending timeouts after the process has been woken by another cause.
+	gen int
+	// subscribedTo lists the signals currently holding a subscription to
+	// this entry, so one-shot wakes can unsubscribe in O(own signals).
+	subscribedTo []*Signal
+
+	halted bool
+}
+
+// event is a scheduled state change or wakeup.
+type event struct {
+	time ir.Time
+	seq  int // tie-break: preserves scheduling order within one instant
+
+	// Drive events.
+	ref    SigRef
+	value  val.Value
+	isWake bool
+
+	// Wake events (wait timeouts).
+	entry *procEntry
+	gen   int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if c := h[i].time.Compare(h[j].time); c != 0 {
+		return c < 0
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TraceEntry records one observed signal value change.
+type TraceEntry struct {
+	Time  ir.Time
+	Sig   *Signal
+	Value val.Value
+}
+
+// Engine is the discrete-event simulation kernel.
+type Engine struct {
+	Now ir.Time
+
+	signals []*Signal
+	procs   []*procEntry
+	queue   eventHeap
+	seq     int
+
+	// Trace collects signal changes when Tracing is true.
+	Tracing bool
+	Trace   []TraceEntry
+
+	// OnAssert is called for llhd.assert intrinsic failures. The default
+	// records the failure in Failures.
+	OnAssert func(name string, t ir.Time)
+	// Failures counts assertion failures.
+	Failures int
+
+	// Display receives llhd.display intrinsic output; nil discards.
+	Display func(s string)
+
+	err        error
+	wokenThis  map[*procEntry]bool
+	DeltaCount int // executed delta steps, for statistics
+	EventCount int // applied events, for statistics
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	e := &Engine{wokenThis: map[*procEntry]bool{}}
+	e.OnAssert = func(string, ir.Time) { e.Failures++ }
+	return e
+}
+
+// Err returns the first runtime error encountered, if any.
+func (e *Engine) Err() error { return e.err }
+
+// SetError records a runtime error; the first error wins and stops Run.
+func (e *Engine) SetError(err error) { e.fail(err) }
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// NewSignal registers a new signal net with the given initial value.
+func (e *Engine) NewSignal(name string, ty *ir.Type, init val.Value) *Signal {
+	s := &Signal{ID: len(e.signals), Name: name, Type: ty, value: init.Clone()}
+	e.signals = append(e.signals, s)
+	return s
+}
+
+// Signals returns all elaborated signals in creation order.
+func (e *Engine) Signals() []*Signal { return e.signals }
+
+// SignalByName finds a signal by hierarchical name, or nil.
+func (e *Engine) SignalByName(name string) *Signal {
+	for _, s := range e.signals {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddProcess registers a simulation actor. Entities pass oneShot=false to
+// keep their sensitivity permanently armed.
+func (e *Engine) AddProcess(p Process, oneShot bool) {
+	e.procs = append(e.procs, &procEntry{proc: p, oneShot: oneShot})
+}
+
+// Sensitize subscribes the most recently registered process... (internal
+// helper for elaborate; see Subscribe).
+func (e *Engine) entryFor(p Process) *procEntry {
+	for _, pe := range e.procs {
+		if pe.proc == p {
+			return pe
+		}
+	}
+	return nil
+}
+
+// Subscribe arms the process's sensitivity on the given signals. For
+// one-shot processes the subscription is consumed by the next wake.
+func (e *Engine) Subscribe(p Process, refs []SigRef) {
+	pe := e.entryFor(p)
+	if pe == nil {
+		e.fail(fmt.Errorf("engine: Subscribe on unregistered process %s", p.Name()))
+		return
+	}
+	pe.gen++
+	for _, r := range refs {
+		r.Sig.subscribers = append(r.Sig.subscribers, pe)
+		pe.subscribedTo = append(pe.subscribedTo, r.Sig)
+	}
+}
+
+// ScheduleWake schedules a timeout wake for p after the given delay.
+func (e *Engine) ScheduleWake(p Process, delay ir.Time) {
+	pe := e.entryFor(p)
+	if pe == nil {
+		e.fail(fmt.Errorf("engine: ScheduleWake on unregistered process %s", p.Name()))
+		return
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{
+		time: e.Now.Add(delay), seq: e.seq, isWake: true, entry: pe, gen: pe.gen,
+	})
+}
+
+// Halt permanently retires the process.
+func (e *Engine) Halt(p Process) {
+	if pe := e.entryFor(p); pe != nil {
+		pe.halted = true
+	}
+}
+
+// Drive schedules a value change on the referenced signal part after the
+// delay. A zero physical delay lands in the next delta step, preserving
+// HDL nonblocking-assignment semantics.
+func (e *Engine) Drive(r SigRef, v val.Value, delay ir.Time) {
+	t := e.Now.Add(delay)
+	if delay.IsZero() {
+		t = e.Now.Add(ir.Time{Delta: 1})
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: t, seq: e.seq, ref: r, value: v.Clone()})
+}
+
+// Step advances the engine by one time instant (one (fs, delta, eps)
+// point), applying all events scheduled for it and waking sensitive
+// processes. It reports whether any work remains.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 || e.err != nil {
+		return false
+	}
+	now := e.queue[0].time
+	e.Now = now
+	e.DeltaCount++
+
+	changed := map[*Signal]bool{}
+	var wakes []*event
+	for len(e.queue) > 0 && e.queue[0].time.Compare(now) == 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.EventCount++
+		if ev.isWake {
+			wakes = append(wakes, ev)
+			continue
+		}
+		newWhole, err := inject(ev.ref.Sig.value, ev.value, ev.ref.Path)
+		if err != nil {
+			e.fail(fmt.Errorf("drive %s: %w", ev.ref.Sig.Name, err))
+			return false
+		}
+		if !newWhole.Eq(ev.ref.Sig.value) {
+			ev.ref.Sig.value = newWhole
+			changed[ev.ref.Sig] = true
+			if e.Tracing {
+				e.Trace = append(e.Trace, TraceEntry{Time: now, Sig: ev.ref.Sig, Value: newWhole.Clone()})
+			}
+		}
+	}
+
+	// Collect processes to wake: sensitivity hits first, then timeouts.
+	clear(e.wokenThis)
+	var toWake []*procEntry
+	sigs := make([]*Signal, 0, len(changed))
+	for s := range changed {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].ID < sigs[j].ID })
+	for _, s := range sigs {
+		subs := s.subscribers
+		for _, pe := range subs {
+			if !pe.halted && !e.wokenThis[pe] {
+				e.wokenThis[pe] = true
+				toWake = append(toWake, pe)
+			}
+		}
+	}
+	for _, ev := range wakes {
+		pe := ev.entry
+		if pe.halted || ev.gen != pe.gen || e.wokenThis[pe] {
+			continue // stale timeout: the process re-armed since
+		}
+		e.wokenThis[pe] = true
+		toWake = append(toWake, pe)
+	}
+
+	for _, pe := range toWake {
+		if pe.oneShot {
+			// Consume the subscription: drop this entry from all signals.
+			pe.gen++
+			e.unsubscribe(pe)
+		}
+		pe.proc.Wake(e)
+		if e.err != nil {
+			return false
+		}
+	}
+	return len(e.queue) > 0
+}
+
+func (e *Engine) unsubscribe(pe *procEntry) {
+	for _, s := range pe.subscribedTo {
+		out := s.subscribers[:0]
+		for _, sub := range s.subscribers {
+			if sub != pe {
+				out = append(out, sub)
+			}
+		}
+		s.subscribers = out
+	}
+	pe.subscribedTo = pe.subscribedTo[:0]
+}
+
+// Init runs every registered process once, in registration order, at time
+// zero. Call it exactly once before Run or Step.
+func (e *Engine) Init() {
+	for _, pe := range e.procs {
+		pe.proc.Init(e)
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+// Run simulates until the event queue drains or physical time exceeds
+// limit (limit.Fs == 0 means no limit). It returns the number of time
+// instants executed.
+func (e *Engine) Run(limit ir.Time) int {
+	steps := 0
+	for len(e.queue) > 0 && e.err == nil {
+		if limit.Fs > 0 && e.queue[0].time.Fs > limit.Fs {
+			break
+		}
+		if !e.Step() && len(e.queue) == 0 {
+			steps++
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// PendingEvents reports the number of scheduled events.
+func (e *Engine) PendingEvents() int { return len(e.queue) }

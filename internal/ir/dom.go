@@ -1,0 +1,115 @@
+package ir
+
+// DomTree is a dominator tree over a unit's CFG, computed with the
+// Cooper-Harvey-Kennedy iterative algorithm.
+type DomTree struct {
+	unit  *Unit
+	idom  map[*Block]*Block // immediate dominator; entry maps to itself
+	order map[*Block]int    // reverse postorder number
+}
+
+// NewDomTree computes the dominator tree of u.
+func NewDomTree(u *Unit) *DomTree {
+	t := &DomTree{
+		unit:  u,
+		idom:  make(map[*Block]*Block, len(u.Blocks)),
+		order: make(map[*Block]int, len(u.Blocks)),
+	}
+	entry := u.Entry()
+	if entry == nil {
+		return t
+	}
+
+	// Reverse postorder over reachable blocks.
+	var rpo []*Block
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		rpo = append(rpo, b)
+	}
+	walk(entry)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	for i, b := range rpo {
+		t.order[b] = i
+	}
+
+	preds := u.Preds()
+	t.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if t.idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.order[a] > t.order[b] {
+			a = t.idom[a]
+		}
+		for t.order[b] > t.order[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (the entry dominates itself).
+// It returns nil for unreachable blocks.
+func (t *DomTree) IDom(b *Block) *Block { return t.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	entry := t.unit.Entry()
+	for {
+		if a == b {
+			return true
+		}
+		if b == entry || t.idom[b] == nil {
+			return false
+		}
+		b = t.idom[b]
+	}
+}
+
+// CommonDominator returns the closest block dominating both a and b, or nil
+// if either is unreachable.
+func (t *DomTree) CommonDominator(a, b *Block) *Block {
+	if t.idom[a] == nil || t.idom[b] == nil {
+		return nil
+	}
+	return t.intersect(a, b)
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (t *DomTree) Reachable(b *Block) bool {
+	_, ok := t.order[b]
+	return ok
+}

@@ -1,0 +1,380 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level identifies one of the three nested LLHD dialects (§2.2). The levels
+// form a strict subset chain: Netlist ⊂ Structural ⊂ Behavioural.
+type Level uint8
+
+const (
+	// Behavioural LLHD is the full IR: functions, processes, entities,
+	// control flow, memory, and simulation constructs.
+	Behavioural Level = iota
+	// Structural LLHD restricts descriptions to input-to-output relations
+	// expressible by entities.
+	Structural
+	// Netlist LLHD permits only entities with sig, con, del, inst (and
+	// the constants feeding them).
+	Netlist
+)
+
+var levelNames = [...]string{"behavioural", "structural", "netlist"}
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Contains reports whether a description legal at level m is also legal at
+// level l (the subset relation of §2.2: every Netlist module is Structural,
+// every Structural module is Behavioural).
+func (l Level) Contains(m Level) bool { return m >= l }
+
+// VerifyError aggregates all verification failures of a module.
+type VerifyError struct {
+	Problems []string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ir: verification failed:\n  %s", strings.Join(e.Problems, "\n  "))
+}
+
+type verifier struct {
+	problems []string
+}
+
+func (v *verifier) errorf(format string, args ...any) {
+	v.problems = append(v.problems, fmt.Sprintf(format, args...))
+}
+
+// Verify checks the structural well-formedness of the module and that it is
+// legal at the requested level. It returns nil or a *VerifyError listing
+// every problem found.
+func Verify(m *Module, level Level) error {
+	v := &verifier{}
+	for _, u := range m.Units {
+		v.verifyUnit(m, u, level)
+	}
+	if len(v.problems) > 0 {
+		return &VerifyError{Problems: v.problems}
+	}
+	return nil
+}
+
+// VerifyUnit checks a single unit at the given level.
+func VerifyUnit(u *Unit, level Level) error {
+	v := &verifier{}
+	v.verifyUnit(u.mod, u, level)
+	if len(v.problems) > 0 {
+		return &VerifyError{Problems: v.problems}
+	}
+	return nil
+}
+
+// LevelOf computes the most restrictive level the module satisfies.
+func LevelOf(m *Module) Level {
+	if Verify(m, Netlist) == nil {
+		return Netlist
+	}
+	if Verify(m, Structural) == nil {
+		return Structural
+	}
+	return Behavioural
+}
+
+func (v *verifier) verifyUnit(m *Module, u *Unit, level Level) {
+	name := u.String()
+	if level != Behavioural && u.Kind != UnitEntity {
+		v.errorf("%s: %s level permits only entities, found %s", name, level, u.Kind)
+	}
+
+	// Signature rules (§2.4.2): processes and entities carry signals.
+	if u.Kind != UnitFunc {
+		for _, a := range u.Inputs {
+			if !a.ty.IsSignal() {
+				v.errorf("%s: input %s must be a signal, got %s", name, a, a.ty)
+			}
+		}
+		for _, a := range u.Outputs {
+			if !a.ty.IsSignal() {
+				v.errorf("%s: output %s must be a signal, got %s", name, a, a.ty)
+			}
+		}
+	} else if len(u.Outputs) > 0 {
+		v.errorf("%s: functions have no output arguments", name)
+	}
+
+	switch u.Kind {
+	case UnitEntity:
+		v.verifyEntity(u, level, name)
+	default:
+		v.verifyControlFlow(m, u, name)
+	}
+	v.verifyDefs(u, name)
+}
+
+// entityOps lists the opcodes admissible in an entity body per level.
+func entityOpAllowed(op Opcode, level Level) bool {
+	switch level {
+	case Netlist:
+		switch op {
+		case OpConstInt, OpConstTime, OpArray, OpStruct, OpSig, OpCon, OpDel, OpInst:
+			return true
+		}
+		return false
+	default:
+		switch op {
+		case OpBr, OpWait, OpHalt, OpRet, OpPhi, OpVar, OpLd, OpSt,
+			OpAlloc, OpFree, OpUnreachable:
+			return false
+		}
+		return true
+	}
+}
+
+func (v *verifier) verifyEntity(u *Unit, level Level, name string) {
+	if len(u.Blocks) != 1 {
+		v.errorf("%s: entity must have exactly one implicit block, has %d", name, len(u.Blocks))
+		return
+	}
+	for _, in := range u.Body().Insts {
+		if in.Op.IsTerminator() {
+			v.errorf("%s: entity body may not contain terminator %s", name, in.Op)
+			continue
+		}
+		if !entityOpAllowed(in.Op, level) {
+			v.errorf("%s: instruction %s not allowed in entity at %s level", name, in.Op, level)
+		}
+		v.verifyInst(u, in, name)
+	}
+}
+
+func (v *verifier) verifyControlFlow(m *Module, u *Unit, name string) {
+	if len(u.Blocks) == 0 {
+		v.errorf("%s: unit has no blocks", name)
+		return
+	}
+	for _, b := range u.Blocks {
+		if b.Terminator() == nil {
+			v.errorf("%s: block %s lacks a terminator", name, b)
+		}
+		for i, in := range b.Insts {
+			if in.Op.IsTerminator() && i != len(b.Insts)-1 {
+				v.errorf("%s: terminator %s in the middle of block %s", name, in.Op, b)
+			}
+			v.verifyInst(u, in, name)
+
+			// Timing model (§2.4): immediate units may not suspend or
+			// touch signals; processes may not return.
+			if u.Kind == UnitFunc {
+				switch in.Op {
+				case OpWait, OpHalt, OpDrv, OpPrb, OpSig, OpReg, OpInst, OpCon, OpDel:
+					v.errorf("%s: function may not contain timed instruction %s", name, in.Op)
+				}
+			}
+			if u.Kind == UnitProc {
+				switch in.Op {
+				case OpRet:
+					v.errorf("%s: process may not return (processes never return, §2.4.2)", name)
+				case OpSig, OpReg, OpCon, OpDel, OpInst:
+					v.errorf("%s: %s is limited to entities", name, in.Op)
+				}
+			}
+		}
+	}
+
+	// Phi sanity: incoming blocks must be the actual predecessors.
+	preds := u.Preds()
+	for _, b := range u.Blocks {
+		for _, in := range b.Insts {
+			if in.Op != OpPhi {
+				continue
+			}
+			if len(in.Args) != len(in.Dests) {
+				v.errorf("%s: phi arity mismatch in %s", name, b)
+				continue
+			}
+			for _, pb := range in.Dests {
+				found := false
+				for _, p := range preds[b] {
+					if p == pb {
+						found = true
+						break
+					}
+				}
+				if !found {
+					v.errorf("%s: phi in %s names non-predecessor %s", name, b, pb)
+				}
+			}
+		}
+	}
+
+	// Calls must resolve (intrinsics are exempt).
+	if m != nil {
+		u.ForEachInst(func(_ *Block, in *Inst) {
+			if in.Op == OpCall && !strings.HasPrefix(in.Callee, "llhd.") {
+				if m.Unit(in.Callee) == nil {
+					v.errorf("%s: call to undefined @%s", name, in.Callee)
+				}
+			}
+			if in.Op == OpInst && m.Unit(in.Callee) == nil {
+				v.errorf("%s: inst of undefined @%s", name, in.Callee)
+			}
+		})
+	}
+}
+
+// verifyInst checks per-instruction operand typing.
+func (v *verifier) verifyInst(u *Unit, in *Inst, name string) {
+	switch in.Op {
+	case OpDrv:
+		if len(in.Args) < 3 {
+			v.errorf("%s: drv needs signal, value, delay", name)
+			return
+		}
+		if !in.Args[0].Type().IsSignal() {
+			v.errorf("%s: drv target must be a signal, got %s", name, in.Args[0].Type())
+		} else if in.Args[0].Type().Elem != in.Args[1].Type() {
+			v.errorf("%s: drv value type %s does not match signal %s", name, in.Args[1].Type(), in.Args[0].Type())
+		}
+		if !in.Args[2].Type().IsTime() {
+			v.errorf("%s: drv delay must be time, got %s", name, in.Args[2].Type())
+		}
+		if len(in.Args) == 4 && !in.Args[3].Type().IsBool() {
+			v.errorf("%s: drv condition must be i1, got %s", name, in.Args[3].Type())
+		}
+	case OpPrb:
+		if len(in.Args) != 1 || !in.Args[0].Type().IsSignal() {
+			v.errorf("%s: prb needs one signal operand", name)
+		}
+	case OpReg:
+		if len(in.Args) != 1 || !in.Args[0].Type().IsSignal() {
+			v.errorf("%s: reg needs a signal target", name)
+			return
+		}
+		elem := in.Args[0].Type().Elem
+		for _, t := range in.Triggers {
+			if t.Value.Type() != elem {
+				v.errorf("%s: reg stored value type %s does not match signal %s", name, t.Value.Type(), in.Args[0].Type())
+			}
+			if !t.Trigger.Type().IsBool() {
+				v.errorf("%s: reg trigger must be i1, got %s", name, t.Trigger.Type())
+			}
+			if t.Gate != nil && !t.Gate.Type().IsBool() {
+				v.errorf("%s: reg gate must be i1, got %s", name, t.Gate.Type())
+			}
+		}
+	case OpBr:
+		switch {
+		case len(in.Args) == 0 && len(in.Dests) == 1:
+		case len(in.Args) == 1 && len(in.Dests) == 2:
+			if !in.Args[0].Type().IsBool() {
+				v.errorf("%s: br condition must be i1, got %s", name, in.Args[0].Type())
+			}
+		default:
+			v.errorf("%s: malformed br (%d args, %d dests)", name, len(in.Args), len(in.Dests))
+		}
+	case OpWait:
+		if len(in.Dests) != 1 {
+			v.errorf("%s: wait needs exactly one resume block", name)
+		}
+		if in.TimeArg != nil && !in.TimeArg.Type().IsTime() {
+			v.errorf("%s: wait timeout must be time, got %s", name, in.TimeArg.Type())
+		}
+		for _, s := range in.Args {
+			if !s.Type().IsSignal() {
+				v.errorf("%s: wait observes non-signal %s", name, s.Type())
+			}
+		}
+	case OpMux:
+		if len(in.Args) != 2 || !in.Args[0].Type().IsArray() {
+			v.errorf("%s: mux needs array and selector", name)
+		}
+	case OpLd:
+		if len(in.Args) != 1 || !in.Args[0].Type().IsPointer() {
+			v.errorf("%s: ld needs one pointer operand", name)
+		}
+	case OpSt:
+		if len(in.Args) != 2 || !in.Args[0].Type().IsPointer() {
+			v.errorf("%s: st needs pointer and value", name)
+		} else if in.Args[0].Type().Elem != in.Args[1].Type() {
+			v.errorf("%s: st value type %s does not match pointer %s", name, in.Args[1].Type(), in.Args[0].Type())
+		}
+	}
+	if in.Op.IsBinary() || in.Op.IsCompare() {
+		if len(in.Args) != 2 {
+			v.errorf("%s: %s needs two operands", name, in.Op)
+		} else if in.Args[0].Type() != in.Args[1].Type() {
+			v.errorf("%s: %s operand types differ: %s vs %s", name, in.Op, in.Args[0].Type(), in.Args[1].Type())
+		}
+	}
+}
+
+// verifyDefs checks SSA dominance: every use must be reachable from its
+// definition. For entities (pure DFG, §2.4.3) order does not matter, so
+// only membership is checked.
+func (v *verifier) verifyDefs(u *Unit, name string) {
+	defined := map[Value]bool{}
+	for _, a := range u.Inputs {
+		defined[a] = true
+	}
+	for _, a := range u.Outputs {
+		defined[a] = true
+	}
+	u.ForEachInst(func(_ *Block, in *Inst) {
+		defined[in] = true
+	})
+	u.ForEachInst(func(b *Block, in *Inst) {
+		in.Operands(func(val Value) {
+			if _, isUnit := val.(*Unit); isUnit {
+				return
+			}
+			if !defined[val] {
+				v.errorf("%s: %s in %s uses value %s defined outside the unit",
+					name, in.Op, b, val)
+			}
+		})
+	})
+
+	if u.Kind == UnitEntity {
+		return
+	}
+	// Def-before-use within blocks; cross-block checks use dominance.
+	dt := NewDomTree(u)
+	for _, b := range u.Blocks {
+		seen := map[Value]bool{}
+		for _, a := range u.Inputs {
+			seen[a] = true
+		}
+		for _, a := range u.Outputs {
+			seen[a] = true
+		}
+		for _, in := range b.Insts {
+			if in.Op != OpPhi { // phi uses arrive along edges
+				in.Operands(func(val Value) {
+					def, ok := val.(*Inst)
+					if !ok {
+						return
+					}
+					if def.block == b {
+						if !seen[def] {
+							v.errorf("%s: %s in %s uses %s before its definition",
+								name, in.Op, b, val)
+						}
+					} else if def.block != nil && dt.Reachable(b) && dt.Reachable(def.block) &&
+						!dt.Dominates(def.block, b) {
+						v.errorf("%s: %s in %s uses %s whose definition does not dominate the use",
+							name, in.Op, b, val)
+					}
+				})
+			}
+			seen[in] = true
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResolutionTableProperties(t *testing.T) {
+	all := []Value{U, X, L0, L1, Z, W, WL, WH, DC}
+	// Symmetry: resolution order must not matter (IEEE 1164 requirement).
+	for _, a := range all {
+		for _, b := range all {
+			if Resolve(a, b) != Resolve(b, a) {
+				t.Errorf("Resolve(%v,%v) not symmetric", a, b)
+			}
+		}
+	}
+	// U is dominant; X absorbs everything except U.
+	for _, a := range all {
+		if Resolve(U, a) != U {
+			t.Errorf("Resolve(U,%v) = %v, want U", a, Resolve(U, a))
+		}
+		if a != U && Resolve(X, a) != X {
+			t.Errorf("Resolve(X,%v) = %v, want X", a, Resolve(X, a))
+		}
+	}
+	// Z is the identity for driven values.
+	for _, a := range all {
+		if a == DC {
+			continue // don't-care resolves to X per the standard
+		}
+		if Resolve(Z, a) != a {
+			t.Errorf("Resolve(Z,%v) = %v, want %v", a, Resolve(Z, a), a)
+		}
+	}
+	// Driving conflict: strong 0 vs strong 1 is X.
+	if Resolve(L0, L1) != X {
+		t.Error("0 vs 1 must resolve to X")
+	}
+	// Weak drivers lose against strong drivers.
+	if Resolve(L0, WH) != L0 || Resolve(L1, WL) != L1 {
+		t.Error("strong drivers must override weak ones")
+	}
+}
+
+func TestResolveAll(t *testing.T) {
+	if ResolveAll(nil) != Z {
+		t.Error("undriven wire must float")
+	}
+	if got := ResolveAll([]Value{WL, WH}); got != W {
+		t.Errorf("weak conflict = %v, want W", got)
+	}
+	if got := ResolveAll([]Value{Z, Z, L1}); got != L1 {
+		t.Errorf("single strong driver = %v, want 1", got)
+	}
+}
+
+func TestGates(t *testing.T) {
+	cases := []struct {
+		f       func(a, b Value) Value
+		a, b, r Value
+	}{
+		{And, L0, L1, L0},
+		{And, L1, L1, L1},
+		{And, X, L0, L0}, // 0 dominates AND
+		{And, X, L1, X},
+		{Or, L1, X, L1}, // 1 dominates OR
+		{Or, L0, L0, L0},
+		{Or, X, L0, X},
+		{Xor, L1, L1, L0},
+		{Xor, L1, L0, L1},
+		{Xor, X, L1, X},
+	}
+	for i, c := range cases {
+		if got := c.f(c.a, c.b); got != c.r {
+			t.Errorf("case %d: got %v, want %v", i, got, c.r)
+		}
+	}
+	if Not(L0) != L1 || Not(L1) != L0 || Not(Z) != X || Not(U) != U {
+		t.Error("Not table wrong")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	f := func(bits uint16) bool {
+		v := NewVector(16).FromUint(uint64(bits))
+		return v.ToUint() == uint64(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorStringParse(t *testing.T) {
+	v, err := ParseVector("01XZWU-LH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "01XZWU-LH" {
+		t.Errorf("round trip = %q", v.String())
+	}
+	if _, err := ParseVector("0#1"); err == nil {
+		t.Error("invalid character accepted")
+	}
+}
+
+func TestVectorResolution(t *testing.T) {
+	a, _ := ParseVector("01Z1")
+	b, _ := ParseVector("0ZZ0")
+	r := ResolveVectors([]Vector{a, b}, 4)
+	want, _ := ParseVector("01ZX")
+	if !r.Eq(want) {
+		t.Errorf("resolved %v, want %v", r, want)
+	}
+}
+
+func TestNewVectorStartsUninitialized(t *testing.T) {
+	v := NewVector(4)
+	for i, x := range v {
+		if x != U {
+			t.Errorf("bit %d = %v, want U (IEEE 1164 power-on state)", i, x)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package moore
+
+// AST for the supported SystemVerilog subset.
+
+// SourceFile is a parsed compilation unit.
+type SourceFile struct {
+	Modules []*Module
+}
+
+// Module is a module declaration.
+type Module struct {
+	Name   string
+	Params []*Param
+	Ports  []*Port
+	Items  []Item
+	Line   int
+}
+
+// Param is a module parameter with a default expression.
+type Param struct {
+	Name    string
+	Default Expr
+}
+
+// Port is an ANSI-style port declaration.
+type Port struct {
+	Name string
+	Dir  string // "input" or "output"
+	Type *DataType
+	Line int
+}
+
+// DataType describes a (possibly packed-vector, possibly unpacked-array)
+// declaration type.
+type DataType struct {
+	Keyword string // bit, logic, wire, reg, int, integer
+	// Packed range [Msb:Lsb]; nil expressions mean scalar.
+	Msb, Lsb Expr
+	// Unpacked dimension [Lo:Hi] for arrays; nil if none.
+	UnpackedLo, UnpackedHi Expr
+	Signed                 bool
+}
+
+// Item is a module-body item.
+type Item interface{ item() }
+
+// NetDecl declares module-level nets/variables.
+type NetDecl struct {
+	Type  *DataType
+	Names []string
+	Inits []Expr // parallel to Names; nil entries mean no initializer
+	Line  int
+}
+
+// LocalParam is a localparam declaration.
+type LocalParam struct {
+	Name  string
+	Value Expr
+}
+
+// AssignItem is a continuous assignment.
+type AssignItem struct {
+	Target Expr
+	Value  Expr
+	Line   int
+}
+
+// AlwaysBlock covers always_ff/always_comb/always/initial/final.
+type AlwaysBlock struct {
+	Kind   string // "always_ff", "always_comb", "always", "initial"
+	Events []Event
+	Body   Stmt
+	Line   int
+}
+
+// Event is one sensitivity item: posedge/negedge/level of a signal.
+type Event struct {
+	Edge string // "posedge", "negedge", "" (level), "*" (comb)
+	Sig  Expr
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Name   string
+	Ret    *DataType // nil for void
+	Args   []*Port   // direction "input"
+	Body   []Stmt
+	Locals []*NetDecl
+	Line   int
+}
+
+// InstItem is a module instantiation.
+type InstItem struct {
+	ModName  string
+	InstName string
+	// Params are #(.N(v)) overrides; positional params use name "".
+	Params []Connection
+	Conns  []Connection
+	Star   bool // .* shorthand connects by name
+	Line   int
+}
+
+// Connection is one .port(expr) connection (Name empty for positional).
+type Connection struct {
+	Name string
+	Expr Expr
+}
+
+func (*NetDecl) item()     {}
+func (*LocalParam) item()  {}
+func (*AssignItem) item()  {}
+func (*AlwaysBlock) item() {}
+func (*FuncDecl) item()    {}
+func (*InstItem) item()    {}
+
+// Stmt is a behavioural statement.
+type Stmt interface{ stmt() }
+
+// BlockStmt is begin ... end, possibly with local variable declarations.
+type BlockStmt struct {
+	Decls []*NetDecl
+	Stmts []Stmt
+}
+
+// AssignStmt is a blocking (=) or nonblocking (<=) assignment with an
+// optional intra-assignment delay.
+type AssignStmt struct {
+	Target   Expr
+	Value    Expr
+	Blocking bool
+	Delay    Expr // time literal or nil
+	Line     int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// CaseStmt is case/endcase, lowered to an if-else chain.
+type CaseStmt struct {
+	Subject Expr
+	Items   []CaseItem
+	Default Stmt // may be nil
+}
+
+// CaseItem is one labeled arm.
+type CaseItem struct {
+	Labels []Expr
+	Body   Stmt
+}
+
+// ForStmt is a for loop (runtime loop in LLHD).
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Step Stmt
+	Body Stmt
+}
+
+// WhileStmt is while/do-while.
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// RepeatStmt is repeat(n) body.
+type RepeatStmt struct {
+	Count Expr
+	Body  Stmt
+}
+
+// DelayStmt is "#10ns;" or "#10ns stmt".
+type DelayStmt struct {
+	Delay Expr
+	Inner Stmt // may be nil
+}
+
+// WaitEventStmt is "@(posedge clk);".
+type WaitEventStmt struct {
+	Events []Event
+}
+
+// ExprStmt is an expression in statement position (calls, i++).
+type ExprStmt struct {
+	X Expr
+}
+
+// AssertStmt is assert(expr) [else ...].
+type AssertStmt struct {
+	Cond Expr
+	Line int
+}
+
+// SysCallStmt is $display(...), $finish, $error.
+type SysCallStmt struct {
+	Name string
+	Args []Expr
+}
+
+// NullStmt is a bare semicolon.
+type NullStmt struct{}
+
+func (*BlockStmt) stmt()     {}
+func (*AssignStmt) stmt()    {}
+func (*IfStmt) stmt()        {}
+func (*CaseStmt) stmt()      {}
+func (*ForStmt) stmt()       {}
+func (*WhileStmt) stmt()     {}
+func (*RepeatStmt) stmt()    {}
+func (*DelayStmt) stmt()     {}
+func (*WaitEventStmt) stmt() {}
+func (*ExprStmt) stmt()      {}
+func (*AssertStmt) stmt()    {}
+func (*SysCallStmt) stmt()   {}
+func (*NullStmt) stmt()      {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Ident references a net, variable, parameter, or function.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is an integer literal; Fill marks '0 / '1.
+type Number struct {
+	Value uint64
+	Width int  // 0 = unsized (context-determined)
+	Fill  bool // '0 or '1: replicate Value's LSB to the context width
+}
+
+// TimeLit is a time literal.
+type TimeLit struct {
+	Text string // e.g. "1ns"
+}
+
+// StringLit is a string literal (format strings, dropped at codegen).
+type StringLit struct {
+	Text string
+}
+
+// Unary is ~x, !x, -x, or a reduction (&x, |x, ^x).
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operator.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Ternary is c ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Index is x[i] (bit select or array element).
+type Index struct {
+	X   Expr
+	Idx Expr
+}
+
+// Slice is x[msb:lsb] (constant part select).
+type Slice struct {
+	X        Expr
+	Msb, Lsb Expr
+}
+
+// Concat is {a, b, c}.
+type Concat struct {
+	Parts []Expr
+}
+
+// Repl is {n{x}}.
+type Repl struct {
+	Count Expr
+	X     Expr
+}
+
+// ArrayLit is '{a, b, c} for unpacked array initialization.
+type ArrayLit struct {
+	Elems []Expr
+}
+
+// CallExpr is f(args) or $signed(x)/$unsigned(x)/$time.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// IncDec is i++ / i-- / ++i / --i used in statement or condition position.
+type IncDec struct {
+	X    Expr
+	Op   string // "++" or "--"
+	Post bool
+}
+
+func (*Ident) expr()     {}
+func (*Number) expr()    {}
+func (*TimeLit) expr()   {}
+func (*StringLit) expr() {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*Ternary) expr()   {}
+func (*Index) expr()     {}
+func (*Slice) expr()     {}
+func (*Concat) expr()    {}
+func (*Repl) expr()      {}
+func (*ArrayLit) expr()  {}
+func (*CallExpr) expr()  {}
+func (*IncDec) expr()    {}

@@ -1,0 +1,211 @@
+// Package moore implements the Moore compiler frontend (§3 of the paper):
+// a SystemVerilog subset sufficient for the designs of the evaluation —
+// modules with parameters, always_ff/always_comb/always/initial processes,
+// continuous assigns, functions, testbench constructs (delays, loops,
+// assertions, $display/$finish), packed vectors, and unpacked arrays for
+// memories and register files. Compile maps source text to Behavioural
+// LLHD, the analog of "Clang and LLVM" for hardware (§3).
+package moore
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tNumber // 42, 8'hFF, 4'b1010, '0, '1
+	tString
+	tSystem // $display, $finish
+	tPunct  // operators and punctuation
+	tTime   // 1ns, 250ps
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// multi-character operators, longest first.
+var operators = []string{
+	"<<<", ">>>", "===", "!==", "<->",
+	"<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "++", "--",
+	"+=", "-=", "*=", "/=", "->", "::", ".*",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+	"=", "?", ":", ";", ",", ".", "#", "@", "(", ")", "[", "]", "{", "}", "'",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tSystem, l.src[start:l.pos])
+		case unicode.IsDigit(rune(c)):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tIdent, l.src[start:l.pos])
+		case c == '\'':
+			// '0, '1, or 'h3F (unsized based literal), or the tick in
+			// 8'hFF handled by lexNumber; standalone tick starts a fill
+			// literal or an unpacked-array literal '{.
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '0' || l.src[l.pos+1] == '1') &&
+				(l.pos+2 >= len(l.src) || !isIdentChar(l.src[l.pos+2])) {
+				l.emit(tNumber, l.src[l.pos:l.pos+2])
+				l.pos += 2
+			} else if l.pos+1 < len(l.src) && l.src[l.pos+1] == '{' {
+				l.emit(tPunct, "'{")
+				l.pos += 2
+			} else {
+				l.emit(tPunct, "'")
+				l.pos++
+			}
+		default:
+			matched := false
+			for _, op := range operators {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.emit(tPunct, op)
+					l.pos += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+			}
+		}
+	}
+	l.emit(tEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '"' {
+		if l.src[l.pos] == '\\' {
+			l.pos++
+		}
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("line %d: unterminated string", l.line)
+	}
+	l.pos++ // closing quote
+	l.emit(tString, l.src[start:l.pos])
+	return nil
+}
+
+// lexNumber handles decimal, sized based (8'hFF, 4'b1010), and time
+// literals (1ns, 500ps).
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	// Time suffix?
+	if l.pos < len(l.src) && unicode.IsLetter(rune(l.src[l.pos])) {
+		sufStart := l.pos
+		for l.pos < len(l.src) && unicode.IsLetter(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		suffix := l.src[sufStart:l.pos]
+		switch suffix {
+		case "fs", "ps", "ns", "us", "ms", "s":
+			l.emit(tTime, l.src[start:l.pos])
+			return nil
+		default:
+			return fmt.Errorf("line %d: malformed literal %q", l.line, l.src[start:l.pos])
+		}
+	}
+	// Based literal: 8'hFF.
+	if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == 's' || l.src[l.pos] == 'S') {
+			l.pos++ // signed marker
+		}
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("line %d: truncated based literal", l.line)
+		}
+		base := l.src[l.pos]
+		switch base {
+		case 'h', 'H', 'b', 'B', 'd', 'D', 'o', 'O':
+			l.pos++
+			for l.pos < len(l.src) && (isHexDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+		default:
+			return fmt.Errorf("line %d: unknown base %q", l.line, string(base))
+		}
+	}
+	l.emit(tNumber, l.src[start:l.pos])
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isHexDigit(c byte) bool {
+	return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ||
+		c == 'x' || c == 'X' || c == 'z' || c == 'Z'
+}

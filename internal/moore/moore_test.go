@@ -1,0 +1,361 @@
+package moore
+
+import (
+	"strings"
+	"testing"
+
+	"llhd/internal/assembly"
+	"llhd/internal/ir"
+	"llhd/internal/sim"
+)
+
+// figure3 is the SystemVerilog source of Figure 3 (testbench + accumulator),
+// with the iteration count reduced to keep the test fast.
+const figure3 = `
+module acc_tb;
+  bit clk, en;
+  bit [31:0] x, q;
+  acc i_dut (.*);
+  initial begin
+    automatic bit [31:0] i = 0;
+    en <= #2ns 1;
+    do begin
+      x <= #2ns i;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+      check(i, q);
+    end while (i++ < 100);
+  end
+  function check(bit [31:0] i, bit [31:0] q);
+    assert(q == i*(i+1)/2);
+  endfunction
+endmodule
+
+module acc (input clk, input [31:0] x, input en, output [31:0] q);
+  bit [31:0] d;
+  always_ff @(posedge clk) q <= #1ns d;
+  always_comb begin
+    d <= #2ns q;
+    if (en) d <= #2ns q+x;
+  end
+endmodule
+`
+
+func TestCompileFigure3(t *testing.T) {
+	m, err := Compile("acc_tb", figure3)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := ir.Verify(m, ir.Behavioural); err != nil {
+		t.Fatalf("Verify: %v\n%s", err, assembly.String(m))
+	}
+	// Expected units: acc_tb entity, its initial process, the check
+	// function, acc entity, its two processes.
+	if m.Unit("acc_tb") == nil || m.Unit("acc") == nil {
+		t.Fatal("module entities missing")
+	}
+	if m.Unit("acc_tb_check") == nil {
+		t.Fatal("function acc_tb_check missing")
+	}
+	procs := 0
+	for _, u := range m.Units {
+		if u.Kind == ir.UnitProc {
+			procs++
+		}
+	}
+	if procs != 3 {
+		t.Errorf("%d processes, want 3 (initial, always_ff, always_comb)", procs)
+	}
+}
+
+func TestFigure3Simulates(t *testing.T) {
+	m, err := Compile("acc_tb", figure3)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s, err := sim.New(m, "acc_tb")
+	if err != nil {
+		t.Fatalf("sim.New: %v\n%s", err, assembly.String(m))
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The testbench runs 101 iterations of 2ns.
+	if s.Engine.Now.Fs < 200*ir.Nanosecond {
+		t.Errorf("simulation ended early at %v", s.Engine.Now)
+	}
+	q := s.Engine.SignalByName("acc_tb.q")
+	if q == nil || q.Value().Bits == 0 {
+		t.Error("q never accumulated")
+	}
+}
+
+func TestCompileCounterAndSimulate(t *testing.T) {
+	src := `
+module counter #(parameter int W = 8) (input clk, input rst, output [W-1:0] count);
+  always_ff @(posedge clk) begin
+    if (rst) count <= '0;
+    else count <= count + 1;
+  end
+endmodule
+
+module counter_tb;
+  bit clk, rst;
+  bit [7:0] count;
+  counter #(.W(8)) i_dut (.clk(clk), .rst(rst), .count(count));
+  initial begin
+    automatic int i;
+    rst <= 1;
+    #2ns;
+    clk <= 1;
+    #2ns;
+    clk <= 0;
+    rst <= 0;
+    for (i = 0; i < 20; i = i + 1) begin
+      #2ns;
+      clk <= 1;
+      #2ns;
+      clk <= 0;
+    end
+    #2ns;
+    assert(count == 20);
+    $finish;
+  end
+endmodule
+`
+	m, err := Compile("counter", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := ir.Verify(m, ir.Behavioural); err != nil {
+		t.Fatalf("Verify: %v\n%s", err, assembly.String(m))
+	}
+	s, err := sim.New(m, "counter_tb")
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures", s.Engine.Failures)
+	}
+	count := s.Engine.SignalByName("counter_tb.count")
+	if got := count.Value().Bits; got != 20 {
+		t.Errorf("count = %d, want 20", got)
+	}
+}
+
+func TestParameterSpecialization(t *testing.T) {
+	src := `
+module fifo #(parameter int DEPTH = 4) (input clk, output [31:0] n);
+  assign n = DEPTH;
+endmodule
+module top (input clk);
+  bit [31:0] a, b;
+  fifo #(.DEPTH(2)) f2 (.clk(clk), .n(a));
+  fifo #(.DEPTH(8)) f8 (.clk(clk), .n(b));
+endmodule
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if m.Unit("fifo$DEPTH2") == nil || m.Unit("fifo$DEPTH8") == nil {
+		names := []string{}
+		for _, u := range m.Units {
+			names = append(names, u.Name)
+		}
+		t.Fatalf("specializations missing; have %v", names)
+	}
+}
+
+func TestCaseStatement(t *testing.T) {
+	src := `
+module dec (input [1:0] sel, output [3:0] y);
+  always_comb begin
+    case (sel)
+      2'd0: y = 4'b0001;
+      2'd1: y = 4'b0010;
+      2'd2: y = 4'b0100;
+      default: y = 4'b1000;
+    endcase
+  end
+endmodule
+module dec_tb;
+  bit [1:0] sel;
+  bit [3:0] y;
+  dec i_dut (.*);
+  initial begin
+    sel <= 0;
+    #2ns;
+    assert(y == 1);
+    sel <= 2;
+    #2ns;
+    assert(y == 4);
+    sel <= 3;
+    #2ns;
+    assert(y == 8);
+    $finish;
+  end
+endmodule
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s, err := sim.New(m, "dec_tb")
+	if err != nil {
+		t.Fatalf("sim.New: %v\n%s", err, assembly.String(m))
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures", s.Engine.Failures)
+	}
+}
+
+func TestUnpackedArrayMemory(t *testing.T) {
+	src := `
+module memtest;
+  bit clk;
+  bit [31:0] out;
+  bit [31:0] mem [0:7];
+  initial begin
+    automatic int i;
+    for (i = 0; i < 8; i = i + 1) begin
+      mem[i] = i * 10;
+    end
+    out <= mem[5];
+    #1ns;
+    assert(out == 50);
+    $finish;
+  end
+endmodule
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s, err := sim.New(m, "memtest")
+	if err != nil {
+		t.Fatalf("sim.New: %v\n%s", err, assembly.String(m))
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures", s.Engine.Failures)
+	}
+}
+
+func TestConcatSliceReduction(t *testing.T) {
+	src := `
+module bits_tb;
+  bit [7:0] a;
+  bit [3:0] hi, lo;
+  bit [7:0] cat;
+  bit anyset, allset, parity;
+  initial begin
+    a <= 8'hA5;
+    #1ns;
+    hi <= a[7:4];
+    lo <= a[3:0];
+    cat <= {a[3:0], a[7:4]};
+    anyset <= |a;
+    allset <= &a;
+    parity <= ^a;
+    #1ns;
+    assert(hi == 4'hA);
+    assert(lo == 4'h5);
+    assert(cat == 8'h5A);
+    assert(anyset == 1);
+    assert(allset == 0);
+    assert(parity == 0);
+    $finish;
+  end
+endmodule
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s, err := sim.New(m, "bits_tb")
+	if err != nil {
+		t.Fatalf("sim.New: %v\n%s", err, assembly.String(m))
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures", s.Engine.Failures)
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	src := `
+module signed_tb;
+  bit [7:0] a, b;
+  bit lt;
+  bit [7:0] sr;
+  initial begin
+    a <= 8'hFF; // -1 signed
+    b <= 8'h01;
+    #1ns;
+    lt <= $signed(a) < $signed(b);
+    sr <= $signed(a) >>> 4;
+    #1ns;
+    assert(lt == 1);
+    assert(sr == 8'hFF);
+    $finish;
+  end
+endmodule
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s, err := sim.New(m, "signed_tb")
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures", s.Engine.Failures)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"modul x; endmodule",
+		"module x (inpu clk); endmodule",
+		"module x; always_ff q <= 1; endmodule",
+		"module x; bit a endmodule",
+	}
+	for _, src := range cases {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestCompiledTextContainsProcesses(t *testing.T) {
+	m, err := Compile("acc_tb", figure3)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	text := assembly.String(m)
+	for _, want := range []string{"entity @acc_tb", "entity @acc", "proc @", "func @acc_tb_check", "wait", "drv"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compiled text lacks %q", want)
+		}
+	}
+	// Round trip through the assembly parser.
+	if _, err := assembly.Parse("rt", text); err != nil {
+		t.Errorf("compiled text does not reparse: %v", err)
+	}
+}

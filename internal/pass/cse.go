@@ -1,0 +1,73 @@
+package pass
+
+import (
+	"fmt"
+	"strings"
+
+	"llhd/internal/ir"
+)
+
+// CSE returns the common subexpression elimination pass (§4.1): pure
+// instructions with identical opcode and operands are deduplicated when the
+// existing definition dominates the duplicate.
+func CSE() Pass {
+	return &unitPass{name: "cse", run: cseUnit}
+}
+
+// cseKey builds a structural identity key for a pure instruction. Operand
+// identity is pointer identity (SSA values), so the key embeds operand
+// addresses.
+func cseKey(in *ir.Inst) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:%p:%d:%d:%d", in.Op, in.Ty, in.IVal, in.Imm0, in.Imm1)
+	if in.Op == ir.OpConstTime {
+		fmt.Fprintf(&b, ":%v", in.TVal)
+	}
+	args := in.Args
+	// Canonicalize commutative operand order by address.
+	if in.Op.IsCommutative() && len(args) == 2 {
+		a0, a1 := fmt.Sprintf("%p", args[0]), fmt.Sprintf("%p", args[1])
+		if a0 > a1 {
+			fmt.Fprintf(&b, ":%s:%s", a1, a0)
+			return b.String()
+		}
+	}
+	for _, a := range args {
+		fmt.Fprintf(&b, ":%p", a)
+	}
+	return b.String()
+}
+
+func cseUnit(u *ir.Unit) (bool, error) {
+	changed := false
+	for {
+		dt := ir.NewDomTree(u)
+		seen := map[string]*ir.Inst{}
+		var dup *ir.Inst
+		var orig *ir.Inst
+		u.ForEachInst(func(b *ir.Block, in *ir.Inst) {
+			if dup != nil {
+				return
+			}
+			if !in.Op.IsPure() && !in.Op.IsConst() {
+				return
+			}
+			key := cseKey(in)
+			if prev, ok := seen[key]; ok {
+				if u.Kind == ir.UnitEntity || dt.Dominates(prev.Block(), b) {
+					dup, orig = in, prev
+					return
+				}
+			} else {
+				seen[key] = in
+			}
+		})
+		if dup == nil {
+			break
+		}
+		u.ReplaceAllUses(dup, orig)
+		dup.Block().Remove(dup)
+		changed = true
+	}
+	return changed, nil
+}

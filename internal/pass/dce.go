@@ -1,0 +1,44 @@
+package pass
+
+import "llhd/internal/ir"
+
+// DCE returns the dead code elimination pass (§4.1): unused pure
+// instructions, single-entry phis, and unreachable blocks are removed.
+func DCE() Pass {
+	return &unitPass{name: "dce", run: dceUnit}
+}
+
+func dceUnit(u *ir.Unit) (bool, error) {
+	changed := false
+	for {
+		pruneDeadPhiEdges(u)
+		uses := u.Uses()
+		removed := 0
+		for _, b := range u.Blocks {
+			kept := b.Insts[:0]
+			for _, in := range b.Insts {
+				dead := false
+				switch {
+				case in.Op.HasSideEffects():
+					// Keep, except trivially dead phis.
+					if in.Op == ir.OpPhi && len(uses[in]) == 0 {
+						dead = true
+					}
+				case len(uses[in]) == 0:
+					dead = true
+				}
+				if dead {
+					removed++
+				} else {
+					kept = append(kept, in)
+				}
+			}
+			b.Insts = kept
+		}
+		if removed == 0 {
+			break
+		}
+		changed = true
+	}
+	return changed, nil
+}

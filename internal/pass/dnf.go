@@ -1,0 +1,178 @@
+package pass
+
+import (
+	"sort"
+
+	"llhd/internal/ir"
+)
+
+// DNF canonicalization for desequentialization (§4.6). A boolean (i1)
+// expression over the IR is flattened into a disjunction of conjunctions
+// of literals. Leaves are arbitrary i1 values (probes, comparisons, or
+// opaque terms); and/or/not/xor/eq/neq over i1 are expanded.
+
+// literal is one (value, polarity) pair.
+type literal struct {
+	v   ir.Value
+	neg bool
+}
+
+// conjunct is a product of literals, keyed by value for dedup.
+type conjunct map[ir.Value]bool // value -> negated?
+
+// dnf is a sum of conjuncts. An empty dnf is "false"; a dnf containing an
+// empty conjunct is "true".
+type dnf []conjunct
+
+func (c conjunct) clone() conjunct {
+	out := make(conjunct, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// add inserts a literal; it reports false when the conjunct becomes
+// contradictory (x AND NOT x).
+func (c conjunct) add(l literal) bool {
+	if neg, ok := c[l.v]; ok {
+		return neg == l.neg
+	}
+	c[l.v] = l.neg
+	return true
+}
+
+// andDNF forms the product of two DNFs.
+func andDNF(a, b dnf) dnf {
+	var out dnf
+	for _, ca := range a {
+		for _, cb := range b {
+			merged := ca.clone()
+			okAll := true
+			for v, neg := range cb {
+				if !merged.add(literal{v, neg}) {
+					okAll = false
+					break
+				}
+			}
+			if okAll {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out
+}
+
+// orDNF forms the sum of two DNFs.
+func orDNF(a, b dnf) dnf { return append(append(dnf{}, a...), b...) }
+
+const maxDNFTerms = 64
+
+// buildDNF converts the boolean value v (with the given polarity) into
+// DNF, expanding and/or/not/xor and i1 eq/neq per the paper ("trivially
+// extended to eq and neq"); everything else is an opaque leaf. It reports
+// ok=false when the expression explodes past maxDNFTerms.
+func buildDNF(v ir.Value, negated bool) (dnf, bool) {
+	in, isInst := v.(*ir.Inst)
+	if !isInst || !v.Type().IsBool() {
+		return dnf{conjunct{v: negated}}, true
+	}
+	switch in.Op {
+	case ir.OpConstInt:
+		truth := in.IVal != 0
+		if negated {
+			truth = !truth
+		}
+		if truth {
+			return dnf{conjunct{}}, true // true
+		}
+		return dnf{}, true // false
+
+	case ir.OpNot:
+		return buildDNF(in.Args[0], !negated)
+
+	case ir.OpAnd, ir.OpOr:
+		a, okA := buildDNF(in.Args[0], negated)
+		if !okA {
+			return nil, false
+		}
+		b, okB := buildDNF(in.Args[1], negated)
+		if !okB {
+			return nil, false
+		}
+		// De Morgan: negation swaps the connective.
+		isAnd := in.Op == ir.OpAnd
+		if negated {
+			isAnd = !isAnd
+		}
+		var out dnf
+		if isAnd {
+			out = andDNF(a, b)
+		} else {
+			out = orDNF(a, b)
+		}
+		if len(out) > maxDNFTerms {
+			return nil, false
+		}
+		return out, true
+
+	case ir.OpXor, ir.OpNeq, ir.OpEq:
+		if !in.Args[0].Type().IsBool() {
+			break // wide comparison: opaque leaf
+		}
+		// a XOR b = (a ∧ ¬b) ∨ (¬a ∧ b); eq is its complement.
+		isXor := in.Op == ir.OpXor || in.Op == ir.OpNeq
+		if negated {
+			isXor = !isXor
+		}
+		a0, ok0 := buildDNF(in.Args[0], false)
+		n0, ok1 := buildDNF(in.Args[0], true)
+		a1, ok2 := buildDNF(in.Args[1], false)
+		n1, ok3 := buildDNF(in.Args[1], true)
+		if !ok0 || !ok1 || !ok2 || !ok3 {
+			return nil, false
+		}
+		var out dnf
+		if isXor {
+			out = orDNF(andDNF(a0, n1), andDNF(n0, a1))
+		} else {
+			out = orDNF(andDNF(a0, a1), andDNF(n0, n1))
+		}
+		if len(out) > maxDNFTerms {
+			return nil, false
+		}
+		return out, true
+	}
+	// Opaque leaf.
+	return dnf{conjunct{v: negated}}, true
+}
+
+// literals returns the conjunct's literals in a deterministic order.
+func (c conjunct) literals() []literal {
+	out := make([]literal, 0, len(c))
+	for v, neg := range c {
+		out = append(out, literal{v, neg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, iok := out[i].v.(*ir.Inst)
+		vj, jok := out[j].v.(*ir.Inst)
+		if iok && jok && vi.Block() != nil && vj.Block() != nil {
+			bi, bj := vi.Block(), vj.Block()
+			if bi != bj {
+				return blockIndex(bi) < blockIndex(bj)
+			}
+			return bi.Index(vi) < bj.Index(vj)
+		}
+		return out[i].v.ValueName() < out[j].v.ValueName()
+	})
+	return out
+}
+
+func blockIndex(b *ir.Block) int {
+	for i, x := range b.Unit().Blocks {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}

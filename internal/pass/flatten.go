@@ -1,0 +1,289 @@
+package pass
+
+import (
+	"fmt"
+	"strings"
+
+	"llhd/internal/ir"
+)
+
+// inlineEntityThreshold bounds the size of child entities that get
+// flattened into their parent (the Inline step at the end of Figure 5).
+const inlineEntityThreshold = 48
+
+// InlineEntities returns the structural inlining pass: small leaf entities
+// (no sub-instances) are flattened into the entities that instantiate
+// them, as in the final step of Figure 5 where @acc_ff and @acc_comb merge
+// into @acc. Entities that end up uninstantiated are removed.
+type inlineEntitiesPass struct{}
+
+// InlineEntities returns the entity flattening pass.
+func InlineEntities() Pass { return &inlineEntitiesPass{} }
+
+func (*inlineEntitiesPass) Name() string { return "inline-entities" }
+
+func (*inlineEntitiesPass) Run(m *ir.Module) (bool, error) {
+	changed := false
+	inlined := map[*ir.Unit]bool{}
+	for _, u := range m.Units {
+		if u.Kind != ir.UnitEntity {
+			continue
+		}
+		for budget := 0; budget < 100; budget++ {
+			target := findInlinableInst(m, u)
+			if target == nil {
+				break
+			}
+			child := m.Unit(target.Callee)
+			if err := inlineEntity(u, child, target); err != nil {
+				return changed, fmt.Errorf("inline-entities: @%s: %w", u.Name, err)
+			}
+			inlined[child] = true
+			changed = true
+		}
+		if changed {
+			sortEntityBody(u)
+		}
+	}
+	// Drop inlined children that are no longer instantiated anywhere.
+	for child := range inlined {
+		if instantiationCount(m, child) == 0 {
+			m.Remove(child)
+		}
+	}
+	return changed, nil
+}
+
+func instantiationCount(m *ir.Module, u *ir.Unit) int {
+	n := 0
+	for _, other := range m.Units {
+		other.ForEachInst(func(_ *ir.Block, in *ir.Inst) {
+			if in.Op == ir.OpInst && in.Callee == u.Name {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+func findInlinableInst(m *ir.Module, u *ir.Unit) *ir.Inst {
+	for _, in := range u.Body().Insts {
+		if in.Op != ir.OpInst {
+			continue
+		}
+		child := m.Unit(in.Callee)
+		if child == nil || child.Kind != ir.UnitEntity || child == u {
+			continue
+		}
+		if child.NumInsts() > inlineEntityThreshold {
+			continue
+		}
+		// Only flatten lowering-generated children back into the module
+		// entity they came from (Figure 5: @acc_ff and @acc_comb into
+		// @acc). User-level hierarchy is preserved.
+		if !strings.HasPrefix(child.Name, u.Name+"_") && !strings.HasPrefix(child.Name, u.Name+".") {
+			continue
+		}
+		leaf := true
+		child.ForEachInst(func(_ *ir.Block, cin *ir.Inst) {
+			if cin.Op == ir.OpInst {
+				leaf = false
+			}
+		})
+		if leaf {
+			return in
+		}
+	}
+	return nil
+}
+
+// inlineEntity splices child's body into u at the instantiation site.
+func inlineEntity(u *ir.Unit, child *ir.Unit, site *ir.Inst) error {
+	body := u.Body()
+	pos := body.Index(site)
+	if pos < 0 {
+		return fmt.Errorf("instantiation site not found")
+	}
+	vm := map[ir.Value]ir.Value{}
+	for i, a := range child.Inputs {
+		vm[a] = site.Args[i]
+	}
+	for i, a := range child.Outputs {
+		vm[a] = site.Args[site.NumIns+i]
+	}
+	var clones []*ir.Inst
+	for _, in := range child.Body().Insts {
+		cp := in.Clone()
+		if cp.ValueName() != "" {
+			cp.SetName(child.Name + "." + cp.ValueName())
+		}
+		vm[in] = cp
+		clones = append(clones, cp)
+	}
+	for _, cp := range clones {
+		remapInst(cp, vm, nil)
+	}
+	// Replace the inst with the cloned body.
+	out := make([]*ir.Inst, 0, len(body.Insts)+len(clones)-1)
+	out = append(out, body.Insts[:pos]...)
+	out = append(out, clones...)
+	out = append(out, body.Insts[pos+1:]...)
+	body.Insts = out
+	for _, cp := range clones {
+		body.Adopt(cp)
+	}
+	return nil
+}
+
+// SignalForwarding returns the structural cleanup that removes local
+// signals with a single unconditional driver by forwarding the driven
+// value to all probes (the step that eliminates %d in Figure 5k). This is
+// a synthesis-oriented transformation: the drive delay is abstracted away,
+// as the paper does when presenting the canonical structural form. The
+// pass also folds "store the signal's own value" muxes on reg into if
+// gates, yielding the paper's "reg %q, %sum rise %clkp if %enp".
+type signalForwardingPass struct{}
+
+// SignalForwarding returns the signal forwarding pass.
+func SignalForwarding() Pass { return &signalForwardingPass{} }
+
+func (*signalForwardingPass) Name() string { return "signal-forwarding" }
+
+func (*signalForwardingPass) Run(m *ir.Module) (bool, error) {
+	changed := false
+	for _, u := range m.Units {
+		if u.Kind != ir.UnitEntity {
+			continue
+		}
+		c, err := forwardSignals(u)
+		if err != nil {
+			return changed, err
+		}
+		r := regStoreSelf(u)
+		if c || r {
+			sortEntityBody(u)
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+func forwardSignals(u *ir.Unit) (bool, error) {
+	changed := false
+	for budget := 0; budget < 100; budget++ {
+		body := u.Body()
+		uses := u.Uses()
+
+		var sig, drv *ir.Inst
+		for _, in := range body.Insts {
+			if in.Op != ir.OpSig {
+				continue
+			}
+			var drives []*ir.Inst
+			ok := true
+			for _, use := range uses[in] {
+				switch use.Op {
+				case ir.OpDrv:
+					if use.Args[0] == in {
+						drives = append(drives, use)
+					} else {
+						ok = false // driven value is the signal itself
+					}
+				case ir.OpPrb:
+				default:
+					ok = false // inst/con/del/reg/ext uses: keep the net
+				}
+			}
+			if ok && len(drives) == 1 && len(drives[0].Args) == 3 {
+				sig, drv = in, drives[0]
+				break
+			}
+		}
+		if sig == nil {
+			break
+		}
+		// Forward the driven value to every probe of the signal.
+		fwd := drv.Args[1]
+		for _, use := range uses[sig] {
+			if use.Op == ir.OpPrb && use.Args[0] == sig {
+				u.ReplaceAllUses(use, fwd)
+				body.Remove(use)
+			}
+		}
+		body.Remove(drv)
+		body.Remove(sig)
+		changed = true
+	}
+	return changed, nil
+}
+
+// regStoreSelf rewrites reg triggers whose stored value is
+// mux([prb(self), v], c) into storing v gated by c.
+func regStoreSelf(u *ir.Unit) bool {
+	changed := false
+	for _, in := range u.Body().Insts {
+		if in.Op != ir.OpReg {
+			continue
+		}
+		target := in.Args[0]
+		for i := range in.Triggers {
+			tr := &in.Triggers[i]
+			mux, ok := tr.Value.(*ir.Inst)
+			if !ok || mux.Op != ir.OpMux {
+				continue
+			}
+			arr, ok := mux.Args[0].(*ir.Inst)
+			if !ok || arr.Op != ir.OpArray || len(arr.Args) != 2 {
+				continue
+			}
+			keep, store := arr.Args[0], arr.Args[1]
+			prb, ok := keep.(*ir.Inst)
+			if !ok || prb.Op != ir.OpPrb || rootSignal(prb.Args[0]) != rootSignal(target) {
+				continue
+			}
+			sel := mux.Args[1]
+			tr.Value = store
+			if tr.Gate == nil {
+				tr.Gate = sel
+			} else {
+				and := &ir.Inst{Op: ir.OpAnd, Ty: ir.IntType(1), Args: []ir.Value{tr.Gate, sel}}
+				u.Body().InsertBefore(and, in)
+				tr.Gate = and
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sortEntityBody topologically orders an entity body so that operands
+// precede their users; the simulator evaluates entity bodies in order.
+func sortEntityBody(u *ir.Unit) {
+	body := u.Body()
+	index := map[*ir.Inst]int{}
+	for i, in := range body.Insts {
+		index[in] = i
+	}
+	var out []*ir.Inst
+	state := map[*ir.Inst]int{} // 0 new, 1 visiting, 2 done
+	var visit func(in *ir.Inst)
+	visit = func(in *ir.Inst) {
+		if state[in] != 0 {
+			return
+		}
+		state[in] = 1
+		in.Operands(func(v ir.Value) {
+			if def, ok := v.(*ir.Inst); ok {
+				if _, inBody := index[def]; inBody {
+					visit(def)
+				}
+			}
+		})
+		state[in] = 2
+		out = append(out, in)
+	}
+	for _, in := range body.Insts {
+		visit(in)
+	}
+	body.Insts = out
+}

@@ -1,0 +1,207 @@
+package pass
+
+import "llhd/internal/ir"
+
+// Mem2Reg returns the memory-to-register promotion pass (§2.5.8): var
+// slots whose address does not escape (only ld/st uses) are rewritten into
+// SSA values with phi nodes, "similar to LLVM's memory-to-register
+// promotion". Lowering to Structural LLHD requires all stack and heap
+// memory instructions to be promoted this way.
+//
+// The implementation places a phi for every promoted variable at every
+// join block ("maximal" SSA); InstSimplify and DCE remove the trivial
+// ones. At the scale of HDL processes this is simpler than and as
+// effective as iterated dominance frontiers.
+func Mem2Reg() Pass {
+	return &unitPass{
+		name:  "mem2reg",
+		kinds: []ir.UnitKind{ir.UnitFunc, ir.UnitProc},
+		run:   mem2regUnit,
+	}
+}
+
+func mem2regUnit(u *ir.Unit) (bool, error) {
+	vars := promotableVars(u)
+	if len(vars) == 0 {
+		return false, nil
+	}
+	preds := u.Preds()
+
+	// Phase 1: one phi per (join block, var).
+	phis := map[*ir.Block]map[*ir.Inst]*ir.Inst{}
+	for _, b := range u.Blocks {
+		if len(preds[b]) < 2 {
+			continue
+		}
+		phis[b] = map[*ir.Inst]*ir.Inst{}
+		for _, v := range vars {
+			phi := &ir.Inst{Op: ir.OpPhi, Ty: v.Ty.Elem}
+			phi.SetName(v.ValueName() + ".phi")
+			b.InsertBefore(phi, firstNonPhi(b))
+			phis[b][v] = phi
+		}
+	}
+
+	// localExit[b][v]: the value v holds at the end of b when b writes it
+	// (st or the var itself); nil when b leaves v untouched.
+	localExit := map[*ir.Block]map[*ir.Inst]ir.Value{}
+	for _, b := range u.Blocks {
+		localExit[b] = map[*ir.Inst]ir.Value{}
+		for _, in := range b.Insts {
+			switch in.Op {
+			case ir.OpVar:
+				if containsVar(vars, in) {
+					localExit[b][in] = in.Args[0]
+				}
+			case ir.OpSt:
+				if v, ok := in.Args[0].(*ir.Inst); ok && containsVar(vars, v) {
+					localExit[b][v] = in.Args[1]
+				}
+			}
+		}
+	}
+
+	// Phase 2: entry values to a fixed point. Join blocks use their phi;
+	// single-pred blocks inherit the predecessor's exit; the entry block
+	// defaults to the initializer.
+	entry := map[*ir.Block]map[*ir.Inst]ir.Value{}
+	for _, b := range u.Blocks {
+		entry[b] = map[*ir.Inst]ir.Value{}
+		for _, v := range vars {
+			if ph, ok := phis[b][v]; ok {
+				entry[b][v] = ph
+			} else if b == u.Entry() {
+				entry[b][v] = v.Args[0]
+			}
+		}
+	}
+	exitOf := func(b *ir.Block, v *ir.Inst) ir.Value {
+		if lv := localExit[b][v]; lv != nil {
+			return lv
+		}
+		return entry[b][v]
+	}
+	for iter := 0; iter <= len(u.Blocks); iter++ {
+		changed := false
+		for _, b := range u.Blocks {
+			if len(preds[b]) != 1 {
+				continue
+			}
+			for _, v := range vars {
+				pv := exitOf(preds[b][0], v)
+				if pv != nil && entry[b][v] != pv {
+					entry[b][v] = pv
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Phase 3: resolve loads with the per-block running value.
+	uses := u.Uses()
+	for _, b := range u.Blocks {
+		cur := map[*ir.Inst]ir.Value{}
+		for _, v := range vars {
+			cur[v] = entry[b][v]
+		}
+		for _, in := range b.Insts {
+			switch in.Op {
+			case ir.OpVar:
+				if containsVar(vars, in) {
+					cur[in] = in.Args[0]
+				}
+			case ir.OpLd:
+				if v, ok := in.Args[0].(*ir.Inst); ok && containsVar(vars, v) {
+					rv := cur[v]
+					if rv == nil {
+						rv = v.Args[0]
+					}
+					for _, use := range uses[in] {
+						use.ReplaceOperand(in, rv)
+					}
+					// Phis elsewhere may also use the load.
+					u.ReplaceAllUses(in, rv)
+				}
+			case ir.OpSt:
+				if v, ok := in.Args[0].(*ir.Inst); ok && containsVar(vars, v) {
+					cur[v] = in.Args[1]
+				}
+			}
+		}
+	}
+
+	// Phase 4: fill phi operands from predecessor exit values.
+	for b, perVar := range phis {
+		for v, phi := range perVar {
+			for _, p := range preds[b] {
+				pv := exitOf(p, v)
+				if pv == nil {
+					pv = v.Args[0]
+				}
+				phi.Args = append(phi.Args, pv)
+				phi.Dests = append(phi.Dests, p)
+			}
+		}
+	}
+
+	// Phase 5: drop the promoted memory instructions.
+	for _, b := range u.Blocks {
+		kept := b.Insts[:0]
+		for _, in := range b.Insts {
+			drop := false
+			switch in.Op {
+			case ir.OpVar:
+				drop = containsVar(vars, in)
+			case ir.OpLd, ir.OpSt:
+				if v, ok := in.Args[0].(*ir.Inst); ok {
+					drop = containsVar(vars, v)
+				}
+			}
+			if !drop {
+				kept = append(kept, in)
+			}
+		}
+		b.Insts = kept
+	}
+	return true, nil
+}
+
+func containsVar(vars []*ir.Inst, v *ir.Inst) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// promotableVars finds var instructions whose only uses are direct ld/st
+// (address position for st).
+func promotableVars(u *ir.Unit) []*ir.Inst {
+	uses := u.Uses()
+	var out []*ir.Inst
+	u.ForEachInst(func(_ *ir.Block, in *ir.Inst) {
+		if in.Op != ir.OpVar {
+			return
+		}
+		ok := true
+		for _, use := range uses[in] {
+			switch use.Op {
+			case ir.OpLd:
+			case ir.OpSt:
+				if use.Args[1] == in {
+					ok = false // address stored as a value
+				}
+			default:
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, in)
+		}
+	})
+	return out
+}

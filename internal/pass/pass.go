@@ -1,0 +1,147 @@
+// Package pass implements the LLHD transformation passes of §4 of the
+// paper: the basic cleanups (constant folding, DCE, CSE, instruction
+// simplification, inlining, mem2reg), and the lowering pipeline from
+// Behavioural to Structural LLHD (ECM, TCM, TCFE, process lowering,
+// desequentialization), plus the structural cleanups used at the end of
+// Figure 5 (entity inlining and signal forwarding).
+package pass
+
+import (
+	"fmt"
+
+	"llhd/internal/ir"
+)
+
+// Pass is a module transformation. Run reports whether it changed the
+// module.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module) (bool, error)
+}
+
+// unitPass adapts a per-unit transformation to the Pass interface.
+type unitPass struct {
+	name string
+	// kinds restricts the pass to certain unit kinds; empty means all.
+	kinds []ir.UnitKind
+	run   func(u *ir.Unit) (bool, error)
+}
+
+func (p *unitPass) Name() string { return p.name }
+
+func (p *unitPass) Run(m *ir.Module) (bool, error) {
+	changed := false
+	for _, u := range m.Units {
+		if len(p.kinds) > 0 {
+			ok := false
+			for _, k := range p.kinds {
+				if u.Kind == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		c, err := p.run(u)
+		if err != nil {
+			return changed, fmt.Errorf("%s: @%s: %w", p.name, u.Name, err)
+		}
+		changed = changed || c
+	}
+	return changed, nil
+}
+
+// Pipeline runs passes in order; RunFixpoint repeats until stable.
+type Pipeline struct {
+	Passes []Pass
+}
+
+// Run executes each pass once in order.
+func (pl *Pipeline) Run(m *ir.Module) (bool, error) {
+	changed := false
+	for _, p := range pl.Passes {
+		c, err := p.Run(m)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || c
+	}
+	return changed, nil
+}
+
+// RunFixpoint repeats the pipeline until no pass reports a change (capped
+// at limit iterations).
+func (pl *Pipeline) RunFixpoint(m *ir.Module, limit int) error {
+	for i := 0; i < limit; i++ {
+		changed, err := pl.Run(m)
+		if err != nil {
+			return err
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Names lists the pass names in order.
+func (pl *Pipeline) Names() []string {
+	names := make([]string, len(pl.Passes))
+	for i, p := range pl.Passes {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// BasicPipeline returns the §4.1 cleanup passes: CF, DCE, CSE, IS,
+// inlining, and memory-to-register promotion.
+func BasicPipeline() *Pipeline {
+	return &Pipeline{Passes: []Pass{
+		Inline(),
+		Mem2Reg(),
+		ConstantFold(),
+		InstSimplify(),
+		CSE(),
+		DCE(),
+	}}
+}
+
+// LoweringPipeline returns the behavioural-to-structural lowering of §4:
+// the basic cleanups followed by ECM, TCM, TCFE, PL, and Deseq, then the
+// structural cleanups of Figure 5 (entity inlining, signal forwarding).
+func LoweringPipeline() *Pipeline {
+	return &Pipeline{Passes: []Pass{
+		Inline(),
+		Mem2Reg(),
+		ConstantFold(),
+		InstSimplify(),
+		CSE(),
+		DCE(),
+		ECM(),
+		TCM(),
+		ConstantFold(),
+		InstSimplify(),
+		DCE(),
+		TCFE(),
+		ProcessLowering(),
+		Desequentialize(),
+		InlineEntities(),
+		SignalForwarding(),
+		ConstantFold(),
+		InstSimplify(),
+		CSE(),
+		DCE(),
+	}}
+}
+
+// Lower runs the full lowering pipeline to fixpoint and verifies the
+// result at the requested level.
+func Lower(m *ir.Module, target ir.Level) error {
+	pl := LoweringPipeline()
+	if err := pl.RunFixpoint(m, 8); err != nil {
+		return err
+	}
+	return ir.Verify(m, target)
+}

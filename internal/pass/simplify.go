@@ -1,0 +1,204 @@
+package pass
+
+import "llhd/internal/ir"
+
+// InstSimplify returns the IS peephole pass (§4.1), the analog of LLVM's
+// instruction combining: short instruction sequences are reduced to
+// simpler forms.
+func InstSimplify() Pass {
+	return &unitPass{name: "inst-simplify", run: simplifyUnit}
+}
+
+func constOf(v ir.Value) (*ir.Inst, bool) {
+	in, ok := v.(*ir.Inst)
+	if !ok || in.Op != ir.OpConstInt {
+		return nil, false
+	}
+	return in, true
+}
+
+func isAllOnes(in *ir.Inst) bool {
+	return in.IVal == ir.MaskWidth(^uint64(0), in.Ty.Width)
+}
+
+// simplifyInst returns a replacement value for in (or nil), and reports
+// whether it rewrote the instruction in place.
+func simplifyInst(in *ir.Inst) (ir.Value, bool) {
+	// Normalize: put a constant operand second for commutative ops.
+	if in.Op.IsCommutative() && len(in.Args) == 2 {
+		if _, ok := constOf(in.Args[0]); ok {
+			if _, ok := constOf(in.Args[1]); !ok {
+				in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+			}
+		}
+	}
+	x := func(i int) ir.Value { return in.Args[i] }
+
+	switch in.Op {
+	case ir.OpAnd:
+		if k, ok := constOf(x(1)); ok {
+			if k.IVal == 0 {
+				return k, false // x & 0 = 0
+			}
+			if isAllOnes(k) {
+				return x(0), false // x & ~0 = x
+			}
+		}
+		if x(0) == x(1) {
+			return x(0), false // x & x = x
+		}
+	case ir.OpOr:
+		if k, ok := constOf(x(1)); ok {
+			if k.IVal == 0 {
+				return x(0), false // x | 0 = x
+			}
+			if isAllOnes(k) {
+				return k, false // x | ~0 = ~0
+			}
+		}
+		if x(0) == x(1) {
+			return x(0), false
+		}
+	case ir.OpXor:
+		if k, ok := constOf(x(1)); ok && k.IVal == 0 {
+			return x(0), false // x ^ 0 = x
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpShl, ir.OpShr, ir.OpAshr:
+		if k, ok := constOf(x(1)); ok && k.IVal == 0 {
+			return x(0), false
+		}
+	case ir.OpMul:
+		if k, ok := constOf(x(1)); ok {
+			if k.IVal == 1 {
+				return x(0), false
+			}
+			if k.IVal == 0 {
+				return k, false
+			}
+		}
+	case ir.OpUdiv, ir.OpSdiv:
+		if k, ok := constOf(x(1)); ok && k.IVal == 1 {
+			return x(0), false
+		}
+	case ir.OpNot:
+		// not(not x) = x
+		if inner, ok := x(0).(*ir.Inst); ok && inner.Op == ir.OpNot {
+			return inner.Args[0], false
+		}
+	case ir.OpEq:
+		if x(0) == x(1) {
+			return nil, false // handled by fold when const; leave
+		}
+		// eq(x, 1) = x and eq(x, 0) = not x for i1.
+		if in.Args[0].Type().IsBool() {
+			if k, ok := constOf(x(1)); ok {
+				if k.IVal == 1 {
+					return x(0), false
+				}
+				in.Op = ir.OpNot
+				in.Args = []ir.Value{x(0)}
+				return nil, true
+			}
+		}
+	case ir.OpNeq:
+		if in.Args[0].Type().IsBool() {
+			if k, ok := constOf(x(1)); ok {
+				if k.IVal == 0 {
+					return x(0), false // neq(x, 0) = x
+				}
+				in.Op = ir.OpNot
+				in.Args = []ir.Value{x(0)}
+				return nil, true
+			}
+			// i1 neq is xor.
+			in.Op = ir.OpXor
+			in.Ty = ir.IntType(1)
+			return nil, true
+		}
+	case ir.OpMux:
+		// mux over identical choices collapses.
+		if arr, ok := x(0).(*ir.Inst); ok && arr.Op == ir.OpArray && len(arr.Args) > 0 {
+			same := true
+			for _, a := range arr.Args[1:] {
+				if a != arr.Args[0] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return arr.Args[0], false
+			}
+		}
+	case ir.OpPhi:
+		// A phi whose incoming values are all the same value v — or v plus
+		// references to the phi itself (loop-carried identity) — is v.
+		var only ir.Value
+		trivial := true
+		for _, a := range in.Args {
+			if a == in {
+				continue
+			}
+			if only == nil {
+				only = a
+			} else if a != only {
+				trivial = false
+				break
+			}
+		}
+		if trivial && only != nil {
+			return only, false
+		}
+	case ir.OpExtF:
+		// extf of a literal aggregate.
+		if agg, ok := x(0).(*ir.Inst); ok && (agg.Op == ir.OpArray || agg.Op == ir.OpStruct) {
+			if in.Imm0 < len(agg.Args) {
+				return agg.Args[in.Imm0], false
+			}
+		}
+	}
+	return nil, false
+}
+
+func simplifyUnit(u *ir.Unit) (bool, error) {
+	changed := false
+	for {
+		var from *ir.Inst
+		var to ir.Value
+		mutated := false
+		u.ForEachInst(func(_ *ir.Block, in *ir.Inst) {
+			if from != nil {
+				return
+			}
+			r, m := simplifyInst(in)
+			if m {
+				mutated = true
+			}
+			if r != nil && r != in {
+				from, to = in, r
+			}
+		})
+		if from == nil {
+			if mutated {
+				changed = true
+				continue
+			}
+			break
+		}
+		u.ReplaceAllUses(from, to)
+		if b := from.Block(); b != nil {
+			b.Remove(from)
+		}
+		changed = true
+	}
+
+	// Fold "br cond, same, same" into an unconditional branch.
+	for _, b := range u.Blocks {
+		t := b.Terminator()
+		if t != nil && t.Op == ir.OpBr && len(t.Dests) == 2 && t.Dests[0] == t.Dests[1] {
+			t.Args = nil
+			t.Dests = t.Dests[:1]
+			changed = true
+		}
+	}
+	return changed, nil
+}

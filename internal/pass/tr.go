@@ -1,0 +1,127 @@
+package pass
+
+import "llhd/internal/ir"
+
+// TRMap assigns each block of a control-flow unit to a Temporal Region
+// (§4.3.1): a section of code that executes during one fixed point in
+// physical time. wait instructions bound the regions.
+type TRMap struct {
+	Of    map[*ir.Block]int
+	Count int
+}
+
+// SameTR reports whether two blocks share a temporal region.
+func (t *TRMap) SameTR(a, b *ir.Block) bool { return t.Of[a] == t.Of[b] }
+
+// TemporalRegions computes the TR assignment with the paper's three rules:
+//
+//  1. If any predecessor has a wait terminator, or this is the entry
+//     block, generate a new TR.
+//  2. If all predecessors have the same TR, inherit that TR.
+//  3. If they have distinct TRs, generate a new TR.
+//
+// The rules are iterated to a fixed point to handle loops within a region.
+func TemporalRegions(u *ir.Unit) *TRMap {
+	t := &TRMap{Of: map[*ir.Block]int{}}
+	if len(u.Blocks) == 0 {
+		return t
+	}
+	preds := u.Preds()
+	// Stable fresh ids: one reserved per block, compacted afterwards.
+	fresh := map[*ir.Block]int{}
+	for i, b := range u.Blocks {
+		fresh[b] = i
+	}
+
+	assign := map[*ir.Block]int{}
+	for iter := 0; iter <= len(u.Blocks)+1; iter++ {
+		changed := false
+		for _, b := range u.Blocks {
+			var want int
+			switch {
+			case b == u.Entry() || hasWaitPred(preds[b]):
+				want = fresh[b]
+			default:
+				trs := map[int]bool{}
+				unassigned := false
+				for _, p := range preds[b] {
+					if tr, ok := assign[p]; ok {
+						trs[tr] = true
+					} else {
+						unassigned = true
+					}
+				}
+				switch {
+				case len(trs) == 1 && !unassigned:
+					for tr := range trs {
+						want = tr
+					}
+				case len(trs) == 1 && unassigned:
+					// Tentatively inherit; later iterations correct it.
+					for tr := range trs {
+						want = tr
+					}
+				case len(trs) == 0:
+					want = fresh[b] // unreachable or all preds unassigned
+				default:
+					want = fresh[b] // rule 3: distinct TRs
+				}
+			}
+			if cur, ok := assign[b]; !ok || cur != want {
+				assign[b] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Compact ids in block order.
+	remap := map[int]int{}
+	for _, b := range u.Blocks {
+		id := assign[b]
+		if _, ok := remap[id]; !ok {
+			remap[id] = len(remap)
+		}
+		t.Of[b] = remap[id]
+	}
+	t.Count = len(remap)
+	return t
+}
+
+func hasWaitPred(preds []*ir.Block) bool {
+	for _, p := range preds {
+		if term := p.Terminator(); term != nil && term.Op == ir.OpWait {
+			return true
+		}
+	}
+	return false
+}
+
+// ExitBlocks returns, per TR, the blocks whose terminator leaves the
+// region (a wait, halt, ret, or a branch into a different TR).
+func (t *TRMap) ExitBlocks(u *ir.Unit) map[int][]*ir.Block {
+	out := map[int][]*ir.Block{}
+	for _, b := range u.Blocks {
+		term := b.Terminator()
+		if term == nil {
+			continue
+		}
+		exits := false
+		switch term.Op {
+		case ir.OpWait, ir.OpHalt, ir.OpRet, ir.OpUnreachable:
+			exits = true
+		case ir.OpBr:
+			for _, d := range term.Dests {
+				if t.Of[d] != t.Of[b] {
+					exits = true
+				}
+			}
+		}
+		if exits {
+			out[t.Of[b]] = append(out[t.Of[b]], b)
+		}
+	}
+	return out
+}

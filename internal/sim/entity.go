@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// entityInterp interprets the reactive body of an entity instance: the
+// instructions that the elaborator could not fold into constants (prb,
+// drv, reg, del, and data flow downstream of probes). Per §2.4.3 the body
+// executes once at initialization and again whenever an input changes.
+type entityInterp struct {
+	sim  *Simulator
+	inst *engine.Instance
+
+	env  map[ir.Value]val.Value // per-wake values, seeded from Consts
+	sigs map[ir.Value]engine.SigRef
+
+	regPrev map[*ir.Inst][]val.Value // previous trigger samples per reg
+	delPrev map[*ir.Inst]val.Value   // previous input value per del
+}
+
+func newEntityInterp(s *Simulator, inst *engine.Instance) *entityInterp {
+	en := &entityInterp{
+		sim:     s,
+		inst:    inst,
+		env:     map[ir.Value]val.Value{},
+		sigs:    map[ir.Value]engine.SigRef{},
+		regPrev: map[*ir.Inst][]val.Value{},
+		delPrev: map[*ir.Inst]val.Value{},
+	}
+	for v, r := range inst.Bind {
+		en.sigs[v] = r
+	}
+	return en
+}
+
+func (en *entityInterp) Name() string { return en.inst.Name }
+
+// Init subscribes the entity permanently to every signal it probes and
+// runs the body once.
+func (en *entityInterp) Init(e *engine.Engine) {
+	var refs []engine.SigRef
+	seen := map[*engine.Signal]bool{}
+	for _, in := range en.inst.Unit.Body().Insts {
+		watch := func(v ir.Value) {
+			if r, ok := en.sigs[v]; ok && !seen[r.Sig] {
+				seen[r.Sig] = true
+				refs = append(refs, r)
+			}
+		}
+		switch in.Op {
+		case ir.OpPrb:
+			watch(in.Args[0])
+		case ir.OpDel:
+			watch(in.Args[1])
+		}
+	}
+	e.Subscribe(en, refs)
+	en.eval(e, true)
+}
+
+func (en *entityInterp) Wake(e *engine.Engine) {
+	en.eval(e, false)
+}
+
+// eval executes the reactive body in order. On the first pass (init=true)
+// reg and del record baseline samples without firing edge triggers.
+func (en *entityInterp) eval(e *engine.Engine, init bool) {
+	// Seed with elaboration-time constants; runtime values overwrite.
+	clear(en.env)
+	for v, c := range en.inst.Consts {
+		en.env[v] = c
+	}
+	for _, in := range en.inst.Unit.Body().Insts {
+		if err := en.evalInst(e, in, init); err != nil {
+			e.SetError(fmt.Errorf("sim: %s: %w", en.inst.Name, err))
+			return
+		}
+	}
+}
+
+func (en *entityInterp) evalInst(e *engine.Engine, in *ir.Inst, init bool) error {
+	switch in.Op {
+	case ir.OpSig, ir.OpInst, ir.OpCon:
+		return nil // handled at elaboration
+
+	case ir.OpPrb:
+		r, ok := en.sigs[in.Args[0]]
+		if !ok {
+			return fmt.Errorf("prb of unbound signal %s", in.Args[0])
+		}
+		en.env[in] = e.Probe(r)
+		return nil
+
+	case ir.OpExtF:
+		if r, ok := en.sigs[in.Args[0]]; ok {
+			en.sigs[in] = r.Extend(engine.Proj{Kind: engine.ProjField, A: in.Imm0})
+			return nil
+		}
+	case ir.OpExtS:
+		if r, ok := en.sigs[in.Args[0]]; ok {
+			en.sigs[in] = r.Extend(engine.Proj{Kind: engine.ProjSlice, A: in.Imm0, B: in.Imm1})
+			return nil
+		}
+
+	case ir.OpDrv:
+		r, ok := en.sigs[in.Args[0]]
+		if !ok {
+			return fmt.Errorf("drv of unbound signal %s", in.Args[0])
+		}
+		v, ok := en.env[in.Args[1]]
+		if !ok {
+			return fmt.Errorf("drv value %s not computed", in.Args[1])
+		}
+		d, ok := en.env[in.Args[2]]
+		if !ok {
+			return fmt.Errorf("drv delay %s not computed", in.Args[2])
+		}
+		if len(in.Args) == 4 {
+			cond, ok := en.env[in.Args[3]]
+			if !ok {
+				return fmt.Errorf("drv condition %s not computed", in.Args[3])
+			}
+			if !cond.IsTrue() {
+				return nil
+			}
+		}
+		e.Drive(r, v, d.T)
+		return nil
+
+	case ir.OpReg:
+		return en.evalReg(e, in, init)
+
+	case ir.OpDel:
+		r, ok := en.sigs[in.Args[0]]
+		if !ok {
+			return fmt.Errorf("del of unbound signal %s", in.Args[0])
+		}
+		src, ok := en.sigs[in.Args[1]]
+		if !ok {
+			return fmt.Errorf("del source %s not a signal", in.Args[1])
+		}
+		d, ok := en.env[in.Args[2]]
+		if !ok {
+			return fmt.Errorf("del delay %s not computed", in.Args[2])
+		}
+		cur := e.Probe(src)
+		if init {
+			en.delPrev[in] = cur
+			return nil
+		}
+		if prev, ok := en.delPrev[in]; !ok || !cur.Eq(prev) {
+			en.delPrev[in] = cur
+			e.Drive(r, cur, d.T)
+		}
+		return nil
+
+	case ir.OpCall:
+		rv, err := interpretCall(en.sim, e, in, func(v ir.Value) (val.Value, error) {
+			x, ok := en.env[v]
+			if !ok {
+				return val.Value{}, fmt.Errorf("call argument %s not computed", v)
+			}
+			return x, nil
+		})
+		if err != nil {
+			return err
+		}
+		if !in.Ty.IsVoid() {
+			en.env[in] = rv
+		}
+		return nil
+	}
+
+	// Pure data flow (includes extf/exts on plain values falling through).
+	v, err := engine.EvalPure(in, func(x ir.Value) (val.Value, bool) {
+		rv, ok := en.env[x]
+		return rv, ok
+	})
+	if err != nil {
+		return err
+	}
+	en.env[in] = v
+	return nil
+}
+
+// evalReg implements the reg storage element (§2.5.3): on each wake,
+// sample every trigger; fire the matching edge/level clauses and drive the
+// stored value onto the register's signal.
+func (en *entityInterp) evalReg(e *engine.Engine, in *ir.Inst, init bool) error {
+	r, ok := en.sigs[in.Args[0]]
+	if !ok {
+		return fmt.Errorf("reg of unbound signal %s", in.Args[0])
+	}
+	prev := en.regPrev[in]
+	cur := make([]val.Value, len(in.Triggers))
+	for i, tr := range in.Triggers {
+		c, ok := en.env[tr.Trigger]
+		if !ok {
+			return fmt.Errorf("reg trigger %s not computed", tr.Trigger)
+		}
+		cur[i] = c
+	}
+	defer func() { en.regPrev[in] = cur }()
+	if init || prev == nil {
+		return nil
+	}
+
+	delay := ir.Time{}
+	if in.Delay != nil {
+		d, ok := en.env[in.Delay]
+		if !ok {
+			return fmt.Errorf("reg delay %s not computed", in.Delay)
+		}
+		delay = d.T
+	}
+
+	for i, tr := range in.Triggers {
+		was, now := prev[i].IsTrue(), cur[i].IsTrue()
+		fired := false
+		switch tr.Mode {
+		case ir.RegRise:
+			fired = !was && now
+		case ir.RegFall:
+			fired = was && !now
+		case ir.RegBoth:
+			fired = was != now
+		case ir.RegHigh:
+			fired = now
+		case ir.RegLow:
+			fired = !now
+		}
+		if !fired {
+			continue
+		}
+		if tr.Gate != nil {
+			g, ok := en.env[tr.Gate]
+			if !ok {
+				return fmt.Errorf("reg gate %s not computed", tr.Gate)
+			}
+			if !g.IsTrue() {
+				continue
+			}
+		}
+		v, ok := en.env[tr.Value]
+		if !ok {
+			return fmt.Errorf("reg stored value %s not computed", tr.Value)
+		}
+		e.Drive(r, v, delay)
+		break // first firing trigger wins
+	}
+	return nil
+}

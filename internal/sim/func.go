@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// interpretCall dispatches a call instruction: llhd.* intrinsics are
+// handled by the engine hooks, other callees are interpreted as functions.
+func interpretCall(s *Simulator, e *engine.Engine, in *ir.Inst,
+	arg func(ir.Value) (val.Value, error)) (val.Value, error) {
+
+	args := make([]val.Value, len(in.Args))
+	for i, a := range in.Args {
+		v, err := arg(a)
+		if err != nil {
+			return val.Value{}, err
+		}
+		args[i] = v
+	}
+	if strings.HasPrefix(in.Callee, "llhd.") {
+		return intrinsic(e, in.Callee, args)
+	}
+	fn := s.Module.Unit(in.Callee)
+	if fn == nil {
+		return val.Value{}, fmt.Errorf("call to undefined @%s", in.Callee)
+	}
+	if fn.Kind != ir.UnitFunc {
+		return val.Value{}, fmt.Errorf("call target @%s is a %s", in.Callee, fn.Kind)
+	}
+	return interpretFunc(s, e, fn, args, 0)
+}
+
+// intrinsic implements the llhd.* intrinsics (§2.5.9).
+func intrinsic(e *engine.Engine, name string, args []val.Value) (val.Value, error) {
+	switch name {
+	case "llhd.assert":
+		if len(args) != 1 {
+			return val.Value{}, fmt.Errorf("llhd.assert needs one i1 argument")
+		}
+		if !args[0].IsTrue() {
+			e.OnAssert(name, e.Now)
+		}
+		return val.Value{}, nil
+	case "llhd.display":
+		if e.Display != nil {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = a.String()
+			}
+			e.Display(strings.Join(parts, " "))
+		}
+		return val.Value{}, nil
+	case "llhd.time":
+		return val.TimeVal(e.Now), nil
+	}
+	return val.Value{}, fmt.Errorf("unknown intrinsic @%s", name)
+}
+
+const maxCallDepth = 1000
+
+// interpretFunc runs a function unit to completion (functions execute
+// immediately, §2.4.1) and returns its return value.
+func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value, depth int) (val.Value, error) {
+	if depth > maxCallDepth {
+		return val.Value{}, fmt.Errorf("call depth exceeded in @%s", fn.Name)
+	}
+	if len(args) != len(fn.Inputs) {
+		return val.Value{}, fmt.Errorf("@%s called with %d args, want %d", fn.Name, len(args), len(fn.Inputs))
+	}
+	env := map[ir.Value]val.Value{}
+	for i, a := range fn.Inputs {
+		env[a] = args[i]
+	}
+	mem := map[*ir.Inst]*slot{}
+
+	block := fn.Entry()
+	var prev *ir.Block
+	index := 0
+	const maxSteps = 100_000_000
+	for steps := 0; steps < maxSteps; steps++ {
+		if block == nil || index >= len(block.Insts) {
+			return val.Value{}, fmt.Errorf("@%s: fell off the end of %s", fn.Name, block)
+		}
+		in := block.Insts[index]
+		index++
+
+		switch in.Op {
+		case ir.OpRet:
+			if len(in.Args) == 1 {
+				v, ok := env[in.Args[0]]
+				if !ok {
+					return val.Value{}, fmt.Errorf("@%s: return value not computed", fn.Name)
+				}
+				return v, nil
+			}
+			return val.Value{}, nil
+
+		case ir.OpBr:
+			var dest *ir.Block
+			if len(in.Args) == 1 {
+				c, ok := env[in.Args[0]]
+				if !ok {
+					return val.Value{}, fmt.Errorf("@%s: branch condition not computed", fn.Name)
+				}
+				if c.IsTrue() {
+					dest = in.Dests[1]
+				} else {
+					dest = in.Dests[0]
+				}
+			} else {
+				dest = in.Dests[0]
+			}
+			prev = block
+			block = dest
+			index = 0
+			// Resolve phis simultaneously.
+			var pending []struct {
+				in *ir.Inst
+				v  val.Value
+			}
+			for _, pin := range dest.Insts {
+				if pin.Op != ir.OpPhi {
+					break
+				}
+				found := false
+				for i, bb := range pin.Dests {
+					if bb == prev {
+						v, ok := env[pin.Args[i]]
+						if !ok {
+							return val.Value{}, fmt.Errorf("@%s: phi operand not computed", fn.Name)
+						}
+						pending = append(pending, struct {
+							in *ir.Inst
+							v  val.Value
+						}{pin, v})
+						found = true
+						break
+					}
+				}
+				if !found {
+					return val.Value{}, fmt.Errorf("@%s: phi without edge from %s", fn.Name, prev)
+				}
+			}
+			for _, pe := range pending {
+				env[pe.in] = pe.v
+			}
+
+		case ir.OpPhi:
+			// handled at branch time
+
+		case ir.OpVar, ir.OpAlloc:
+			var init val.Value
+			if in.Op == ir.OpVar {
+				v, ok := env[in.Args[0]]
+				if !ok {
+					return val.Value{}, fmt.Errorf("@%s: var initializer not computed", fn.Name)
+				}
+				init = v.Clone()
+			} else {
+				init = val.Default(in.Ty.Elem)
+			}
+			if s, ok := mem[in]; ok {
+				s.v = init
+				s.freed = false
+			} else {
+				mem[in] = &slot{v: init}
+			}
+
+		case ir.OpLd:
+			sl, err := funcSlot(mem, in.Args[0])
+			if err != nil {
+				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
+			}
+			env[in] = sl.v.Clone()
+
+		case ir.OpSt:
+			sl, err := funcSlot(mem, in.Args[0])
+			if err != nil {
+				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
+			}
+			v, ok := env[in.Args[1]]
+			if !ok {
+				return val.Value{}, fmt.Errorf("@%s: store value not computed", fn.Name)
+			}
+			sl.v = v.Clone()
+
+		case ir.OpFree:
+			sl, err := funcSlot(mem, in.Args[0])
+			if err != nil {
+				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
+			}
+			sl.freed = true
+
+		case ir.OpCall:
+			cargs := make([]val.Value, len(in.Args))
+			for i, a := range in.Args {
+				v, ok := env[a]
+				if !ok {
+					return val.Value{}, fmt.Errorf("@%s: call argument not computed", fn.Name)
+				}
+				cargs[i] = v
+			}
+			var rv val.Value
+			var err error
+			if strings.HasPrefix(in.Callee, "llhd.") {
+				rv, err = intrinsic(e, in.Callee, cargs)
+			} else {
+				callee := s.Module.Unit(in.Callee)
+				if callee == nil {
+					return val.Value{}, fmt.Errorf("@%s: call to undefined @%s", fn.Name, in.Callee)
+				}
+				rv, err = interpretFunc(s, e, callee, cargs, depth+1)
+			}
+			if err != nil {
+				return val.Value{}, err
+			}
+			if !in.Ty.IsVoid() {
+				env[in] = rv
+			}
+
+		case ir.OpUnreachable:
+			return val.Value{}, fmt.Errorf("@%s: reached unreachable", fn.Name)
+
+		default:
+			v, err := engine.EvalPure(in, func(x ir.Value) (val.Value, bool) {
+				rv, ok := env[x]
+				return rv, ok
+			})
+			if err != nil {
+				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
+			}
+			env[in] = v
+		}
+	}
+	return val.Value{}, fmt.Errorf("@%s: step budget exhausted", fn.Name)
+}
+
+func funcSlot(mem map[*ir.Inst]*slot, ptr ir.Value) (*slot, error) {
+	in, ok := ptr.(*ir.Inst)
+	if !ok {
+		return nil, fmt.Errorf("pointer %s is not var/alloc result", ptr)
+	}
+	s, ok := mem[in]
+	if !ok {
+		return nil, fmt.Errorf("pointer %s not materialized", ptr)
+	}
+	if s.freed {
+		return nil, fmt.Errorf("use after free through %s", ptr)
+	}
+	return s, nil
+}

@@ -1,0 +1,369 @@
+// Package sim implements the LLHD reference simulator (the paper's
+// LLHD-Sim, §6.1): a deliberately simple tree-walking interpreter over the
+// IR, running on the shared discrete-event kernel in internal/engine. It
+// favours clarity over speed; internal/blaze is the fast counterpart.
+package sim
+
+import (
+	"fmt"
+
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// Simulator couples an elaborated design with the event engine.
+type Simulator struct {
+	Engine *engine.Engine
+	Module *ir.Module
+	Top    string
+}
+
+// New elaborates the design hierarchy under the named top unit with the
+// interpreting process factory.
+func New(m *ir.Module, top string) (*Simulator, error) {
+	e := engine.New()
+	s := &Simulator{Engine: e, Module: m, Top: top}
+	factory := func(inst *engine.Instance) (engine.Process, error) {
+		switch inst.Unit.Kind {
+		case ir.UnitProc:
+			return newProcInterp(s, inst), nil
+		case ir.UnitEntity:
+			return newEntityInterp(s, inst), nil
+		}
+		return nil, fmt.Errorf("sim: cannot interpret %s @%s", inst.Unit.Kind, inst.Unit.Name)
+	}
+	if err := engine.Elaborate(e, m, top, factory); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run initializes the design and simulates until the event queue drains or
+// physical time exceeds limit (zero limit: unbounded). It returns the
+// first runtime error, if any.
+func (s *Simulator) Run(limit ir.Time) error {
+	s.Engine.Init()
+	s.Engine.Run(limit)
+	return s.Engine.Err()
+}
+
+// slot is one memory cell created by var or alloc.
+type slot struct {
+	v     val.Value
+	freed bool
+}
+
+// procInterp interprets one process instance.
+type procInterp struct {
+	sim  *Simulator
+	inst *engine.Instance
+
+	env    map[ir.Value]val.Value
+	sigs   map[ir.Value]engine.SigRef
+	mem    map[*ir.Inst]*slot
+	block  *ir.Block // current block
+	index  int       // next instruction index in block
+	prev   *ir.Block // predecessor, for phi resolution
+	halted bool
+}
+
+func newProcInterp(s *Simulator, inst *engine.Instance) *procInterp {
+	p := &procInterp{
+		sim:  s,
+		inst: inst,
+		env:  map[ir.Value]val.Value{},
+		sigs: map[ir.Value]engine.SigRef{},
+		mem:  map[*ir.Inst]*slot{},
+	}
+	for v, r := range inst.Bind {
+		p.sigs[v] = r
+	}
+	return p
+}
+
+func (p *procInterp) Name() string { return p.inst.Name }
+
+func (p *procInterp) Init(e *engine.Engine) {
+	p.block = p.inst.Unit.Entry()
+	p.index = 0
+	p.run(e)
+}
+
+func (p *procInterp) Wake(e *engine.Engine) {
+	if p.halted {
+		return
+	}
+	p.run(e)
+}
+
+// run executes instructions until the process suspends (wait/halt) or the
+// engine records an error.
+func (p *procInterp) run(e *engine.Engine) {
+	const maxSteps = 100_000_000 // guards against runaway zero-time loops
+	for steps := 0; steps < maxSteps; steps++ {
+		if p.block == nil || p.index >= len(p.block.Insts) {
+			e.Halt(p)
+			p.halted = true
+			return
+		}
+		in := p.block.Insts[p.index]
+		p.index++
+		done, err := p.exec(e, in)
+		if err != nil {
+			e.SetError(fmt.Errorf("sim: %s: %w", p.inst.Name, err))
+			return
+		}
+		if done {
+			return
+		}
+	}
+	e.SetError(fmt.Errorf("sim: %s: step budget exhausted (livelock?)", p.inst.Name))
+}
+
+// value resolves an operand to its runtime value.
+func (p *procInterp) value(v ir.Value) (val.Value, error) {
+	if rv, ok := p.env[v]; ok {
+		return rv, nil
+	}
+	return val.Value{}, fmt.Errorf("value %s not computed", v)
+}
+
+// sigRef resolves an operand to a signal reference.
+func (p *procInterp) sigRef(v ir.Value) (engine.SigRef, error) {
+	if r, ok := p.sigs[v]; ok {
+		return r, nil
+	}
+	return engine.SigRef{}, fmt.Errorf("%s is not a signal reference", v)
+}
+
+// jump transfers control to dest, resolving its phi nodes against the
+// current block.
+func (p *procInterp) jump(dest *ir.Block) error {
+	p.prev = p.block
+	p.block = dest
+	p.index = 0
+	// Evaluate all phis of dest simultaneously against the edge taken.
+	var pending []struct {
+		in *ir.Inst
+		v  val.Value
+	}
+	for _, in := range dest.Insts {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		found := false
+		for i, bb := range in.Dests {
+			if bb == p.prev {
+				v, err := p.value(in.Args[i])
+				if err != nil {
+					return err
+				}
+				pending = append(pending, struct {
+					in *ir.Inst
+					v  val.Value
+				}{in, v})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("phi in %s has no incoming edge from %s", dest, p.prev)
+		}
+	}
+	for _, pe := range pending {
+		p.env[pe.in] = pe.v
+	}
+	return nil
+}
+
+// exec runs one instruction; it reports done=true when the process
+// suspended and control must return to the engine.
+func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
+	switch in.Op {
+	case ir.OpPhi:
+		// Already resolved by jump.
+		return false, nil
+
+	case ir.OpExtF:
+		if r, ok := p.sigs[in.Args[0]]; ok && len(in.Args) == 1 {
+			p.sigs[in] = r.Extend(engine.Proj{Kind: engine.ProjField, A: in.Imm0})
+			return false, nil
+		}
+		if in.Args[0].Type().IsPointer() {
+			return false, fmt.Errorf("extf on pointers is not supported by the interpreter yet")
+		}
+		// Plain-value extraction (including dynamic index) falls through
+		// to the pure evaluator below.
+
+	case ir.OpExtS:
+		if r, ok := p.sigs[in.Args[0]]; ok {
+			p.sigs[in] = r.Extend(engine.Proj{Kind: engine.ProjSlice, A: in.Imm0, B: in.Imm1})
+			return false, nil
+		}
+
+	case ir.OpPrb:
+		r, err := p.sigRef(in.Args[0])
+		if err != nil {
+			return false, err
+		}
+		p.env[in] = e.Probe(r)
+		return false, nil
+
+	case ir.OpDrv:
+		r, err := p.sigRef(in.Args[0])
+		if err != nil {
+			return false, err
+		}
+		v, err := p.value(in.Args[1])
+		if err != nil {
+			return false, err
+		}
+		d, err := p.value(in.Args[2])
+		if err != nil {
+			return false, err
+		}
+		if len(in.Args) == 4 {
+			cond, err := p.value(in.Args[3])
+			if err != nil {
+				return false, err
+			}
+			if !cond.IsTrue() {
+				return false, nil
+			}
+		}
+		e.Drive(r, v, d.T)
+		return false, nil
+
+	case ir.OpVar, ir.OpAlloc:
+		var init val.Value
+		if in.Op == ir.OpVar {
+			v, err := p.value(in.Args[0])
+			if err != nil {
+				return false, err
+			}
+			init = v.Clone()
+		} else {
+			init = val.Default(in.Ty.Elem)
+		}
+		// Re-executing a var (loop) rebinds the same slot with the init
+		// value, matching stack-slot semantics.
+		if s, ok := p.mem[in]; ok {
+			s.v = init
+			s.freed = false
+		} else {
+			p.mem[in] = &slot{v: init}
+		}
+		return false, nil
+
+	case ir.OpLd:
+		s, err := p.slotOf(in.Args[0])
+		if err != nil {
+			return false, err
+		}
+		p.env[in] = s.v.Clone()
+		return false, nil
+
+	case ir.OpSt:
+		s, err := p.slotOf(in.Args[0])
+		if err != nil {
+			return false, err
+		}
+		v, err := p.value(in.Args[1])
+		if err != nil {
+			return false, err
+		}
+		s.v = v.Clone()
+		return false, nil
+
+	case ir.OpFree:
+		s, err := p.slotOf(in.Args[0])
+		if err != nil {
+			return false, err
+		}
+		s.freed = true
+		return false, nil
+
+	case ir.OpCall:
+		rv, err := interpretCall(p.sim, e, in, func(v ir.Value) (val.Value, error) { return p.value(v) })
+		if err != nil {
+			return false, err
+		}
+		if !in.Ty.IsVoid() {
+			p.env[in] = rv
+		}
+		return false, nil
+
+	case ir.OpBr:
+		if len(in.Args) == 1 {
+			c, err := p.value(in.Args[0])
+			if err != nil {
+				return false, err
+			}
+			if c.IsTrue() {
+				return false, p.jump(in.Dests[1])
+			}
+			return false, p.jump(in.Dests[0])
+		}
+		return false, p.jump(in.Dests[0])
+
+	case ir.OpWait:
+		var refs []engine.SigRef
+		for _, a := range in.Args {
+			r, err := p.sigRef(a)
+			if err != nil {
+				return false, err
+			}
+			refs = append(refs, r)
+		}
+		e.Subscribe(p, refs)
+		if in.TimeArg != nil {
+			t, err := p.value(in.TimeArg)
+			if err != nil {
+				return false, err
+			}
+			e.ScheduleWake(p, t.T)
+		}
+		if err := p.jump(in.Dests[0]); err != nil {
+			return false, err
+		}
+		return true, nil
+
+	case ir.OpHalt:
+		e.Halt(p)
+		p.halted = true
+		return true, nil
+
+	case ir.OpUnreachable:
+		return false, fmt.Errorf("reached unreachable")
+
+	case ir.OpRet:
+		return false, fmt.Errorf("ret in a process")
+	}
+
+	// Pure data flow.
+	v, err := engine.EvalPure(in, func(x ir.Value) (val.Value, bool) {
+		rv, ok := p.env[x]
+		return rv, ok
+	})
+	if err != nil {
+		return false, err
+	}
+	p.env[in] = v
+	return false, nil
+}
+
+func (p *procInterp) slotOf(ptr ir.Value) (*slot, error) {
+	in, ok := ptr.(*ir.Inst)
+	if !ok {
+		return nil, fmt.Errorf("pointer %s is not var/alloc result", ptr)
+	}
+	s, ok := p.mem[in]
+	if !ok {
+		return nil, fmt.Errorf("pointer %s not materialized", ptr)
+	}
+	if s.freed {
+		return nil, fmt.Errorf("use after free through %s", ptr)
+	}
+	return s, nil
+}

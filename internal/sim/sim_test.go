@@ -1,0 +1,649 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"llhd/internal/assembly"
+	"llhd/internal/ir"
+	"llhd/internal/val"
+)
+
+// counterSrc drives a free-running clock and counts rising edges.
+const counterSrc = `
+entity @top () -> () {
+  %zero1 = const i1 0
+  %zero8 = const i32 0
+  %clk = sig i1 %zero1
+  %count = sig i32 %zero8
+  inst @clkgen () -> (i1$ %clk)
+  inst @counter (i1$ %clk) -> (i32$ %count)
+}
+proc @clkgen () -> (i1$ %clk) {
+ entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %half = const time 5ns
+  %n = const i32 20
+  %zero = const i32 0
+  %one = const i32 1
+  %i = var i32 %zero
+  br %loop
+ loop:
+  drv i1$ %clk, %b1 after %half
+  wait %lo for %half
+ lo:
+  drv i1$ %clk, %b0 after %half
+  wait %next for %half
+ next:
+  %ip = ld i32* %i
+  %in = add i32 %ip, %one
+  st i32* %i, %in
+  %more = ult i32 %in, %n
+  br %more, %end, %loop
+ end:
+  halt
+}
+proc @counter (i1$ %clk) -> (i32$ %count) {
+ init:
+  %one = const i32 1
+  %dz = const time 0s
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+ check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %pos = and i1 %chg, %clk1
+  br %pos, %init, %bump
+ bump:
+  %c = prb i32$ %count
+  %cn = add i32 %c, %one
+  drv i32$ %count, %cn after %dz
+  br %init
+}
+`
+
+func TestCounterSimulation(t *testing.T) {
+	m := assembly.MustParse("counter", counterSrc)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	count := s.Engine.SignalByName("top.count")
+	if count == nil {
+		t.Fatal("top.count signal not found")
+	}
+	// 20 half-period pairs = 20 rising edges.
+	if got := count.Value().Bits; got != 20 {
+		t.Errorf("count = %d, want 20", got)
+	}
+}
+
+// accSrc is an accumulator with delta-cycle feedback (no artificial
+// delays) plus a self-checking testbench using llhd.assert.
+const accSrc = `
+entity @acc_top () -> () {
+  %z1 = const i1 0
+  %z32 = const i32 0
+  %clk = sig i1 %z1
+  %en = sig i1 %z1
+  %x = sig i32 %z32
+  %q = sig i32 %z32
+  inst @dut (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q)
+  inst @driver (i32$ %q) -> (i1$ %clk, i32$ %x, i1$ %en)
+}
+proc @dut (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+ init:
+  %dz = const time 0s
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+ check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %pos = and i1 %chg, %clk1
+  br %pos, %init, %accum
+ accum:
+  %enp = prb i1$ %en
+  %qp = prb i32$ %q
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %q, %sum after %dz if %enp
+  br %init
+}
+proc @driver (i32$ %q) -> (i1$ %clk, i32$ %x, i1$ %en) {
+ entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %zero = const i32 0
+  %one = const i32 1
+  %last = const i32 100
+  %d1 = const time 1ns
+  %i = var i32 %zero
+  drv i1$ %en, %b1 after %d1
+  wait %loop for %d1
+ loop:
+  %ip = ld i32* %i
+  drv i32$ %x, %ip after %d1
+  wait %hi for %d1
+ hi:
+  drv i1$ %clk, %b1 after %d1
+  wait %lo for %d1
+ lo:
+  drv i1$ %clk, %b0 after %d1
+  wait %checkq for %d1
+ checkq:
+  %qp = prb i32$ %q
+  call void @expect (i32 %ip, i32 %qp)
+  %in = add i32 %ip, %one
+  st i32* %i, %in
+  %more = ult i32 %ip, %last
+  br %more, %done, %loop
+ done:
+  halt
+}
+func @expect (i32 %i, i32 %q) void {
+ entry:
+  %one = const i32 1
+  %two = const i32 2
+  %ip1 = add i32 %i, %one
+  %prod = mul i32 %i, %ip1
+  %want = udiv i32 %prod, %two
+  %ok = eq i32 %want, %q
+  call void @llhd.assert (i1 %ok)
+  ret
+}
+`
+
+func TestAccumulatorSelfChecking(t *testing.T) {
+	m := assembly.MustParse("acc", accSrc)
+	s, err := New(m, "acc_top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures; accumulator mismatch", s.Engine.Failures)
+	}
+	q := s.Engine.SignalByName("acc_top.q")
+	if got, want := q.Value().Bits, uint64(100*101/2); got != want {
+		t.Errorf("final q = %d, want %d", got, want)
+	}
+}
+
+// figure2 is the testbench of Figure 2 plus the accumulator of Figure 5.
+// The exact delays in the paper make the check an illustration rather than
+// a passing assertion under strict event semantics; the test verifies that
+// the design elaborates, simulates to completion, and halts.
+const figure2 = `
+entity @acc_tb () -> () {
+  %zero0 = const i1 0
+  %zero1 = const i32 0
+  %clk = sig i1 %zero0
+  %en = sig i1 %zero0
+  %x = sig i32 %zero1
+  %q = sig i32 %zero1
+  inst @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q)
+  inst @acc_tb_initial (i32$ %q) -> (i1$ %clk, i32$ %x, i1$ %en)
+}
+proc @acc_tb_initial (i32$ %q) -> (i1$ %clk, i32$ %x, i1$ %en) {
+ entry:
+  %bit0 = const i1 0
+  %bit1 = const i1 1
+  %zero = const i32 0
+  %one = const i32 1
+  %many = const i32 1337
+  %del1ns = const time 1ns
+  %del2ns = const time 2ns
+  %i = var i32 %zero
+  drv i1$ %en, %bit1 after %del2ns
+  br %loop
+ loop:
+  %ip = ld i32* %i
+  drv i32$ %x, %ip after %del2ns
+  drv i1$ %clk, %bit1 after %del1ns
+  drv i1$ %clk, %bit0 after %del2ns
+  wait %next for %del2ns
+ next:
+  %qp = prb i32$ %q
+  %in = add i32 %ip, %one
+  st i32* %i, %in
+  %cont = ult i32 %ip, %many
+  br %cont, %end, %loop
+ end:
+  halt
+}
+entity @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+  %zero = const i32 0
+  %d = sig i32 %zero
+  inst @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q)
+  inst @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d)
+}
+proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+ init:
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+ check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %posedge = and i1 %chg, %clk1
+  br %posedge, %init, %event
+ event:
+  %dp = prb i32$ %d
+  %delay = const time 1ns
+  drv i32$ %q, %dp after %delay
+  br %init
+}
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+ entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 2ns
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+ enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+ final:
+  wait %entry for %q, %x, %en
+}
+`
+
+func TestFigure2RunsToCompletion(t *testing.T) {
+	m := assembly.MustParse("acc_tb", figure2)
+	s, err := New(m, "acc_tb")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The testbench runs 1338 iterations of 2 ns each.
+	if s.Engine.Now.Fs < 1338*2*ir.Nanosecond {
+		t.Errorf("simulation ended at %v, want >= 2676ns", s.Engine.Now)
+	}
+	// q accumulated a nonzero sum of the driven x values.
+	q := s.Engine.SignalByName("acc_tb.q")
+	if q.Value().Bits == 0 {
+		t.Error("q never accumulated")
+	}
+}
+
+// TestStructuralAccEquivalence lowers the accumulator flip-flop to an
+// entity with reg (Figure 5k) by hand and checks it behaves like the
+// behavioural process version.
+func TestStructuralRegEntity(t *testing.T) {
+	src := `
+entity @top () -> () {
+  %z1 = const i1 0
+  %z32 = const i32 0
+  %clk = sig i1 %z1
+  %d = sig i32 %z32
+  %q = sig i32 %z32
+  inst @ff (i1$ %clk, i32$ %d) -> (i32$ %q)
+  inst @stim (i32$ %q) -> (i1$ %clk, i32$ %d)
+}
+entity @ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+  %delay = const time 1ns
+  %clkp = prb i1$ %clk
+  %dp = prb i32$ %d
+  reg i32$ %q, %dp rise %clkp after %delay
+}
+proc @stim (i32$ %q) -> (i1$ %clk, i32$ %d) {
+ entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %k = const i32 42
+  %d2 = const time 2ns
+  drv i32$ %d, %k after %d2
+  wait %hi for %d2
+ hi:
+  drv i1$ %clk, %b1 after %d2
+  wait %lo for %d2
+ lo:
+  drv i1$ %clk, %b0 after %d2
+  wait %done for %d2
+ done:
+  halt
+}
+`
+	m := assembly.MustParse("m", src)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	q := s.Engine.SignalByName("top.q")
+	if got := q.Value().Bits; got != 42 {
+		t.Errorf("q = %d, want 42 (captured on rising edge)", got)
+	}
+}
+
+// TestRegGate checks that an "if" gate suppresses the store.
+func TestRegGate(t *testing.T) {
+	src := `
+entity @top () -> () {
+  %z1 = const i1 0
+  %z32 = const i32 0
+  %clk = sig i1 %z1
+  %en = sig i1 %z1
+  %d = sig i32 %z32
+  %q = sig i32 %z32
+  inst @ff (i1$ %clk, i1$ %en, i32$ %d) -> (i32$ %q)
+  inst @stim () -> (i1$ %clk, i1$ %en, i32$ %d)
+}
+entity @ff (i1$ %clk, i1$ %en, i32$ %d) -> (i32$ %q) {
+  %delay = const time 1ns
+  %clkp = prb i1$ %clk
+  %enp = prb i1$ %en
+  %dp = prb i32$ %d
+  reg i32$ %q, %dp rise %clkp if %enp after %delay
+}
+proc @stim () -> (i1$ %clk, i1$ %en, i32$ %d) {
+ entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %k = const i32 7
+  %d2 = const time 2ns
+  drv i32$ %d, %k after %d2
+  wait %edge1 for %d2
+ edge1:
+  drv i1$ %clk, %b1 after %d2
+  wait %edge1b for %d2
+ edge1b:
+  drv i1$ %clk, %b0 after %d2
+  wait %enable for %d2
+ enable:
+  drv i1$ %en, %b1 after %d2
+  wait %edge2 for %d2
+ edge2:
+  drv i1$ %clk, %b1 after %d2
+  wait %done for %d2
+ done:
+  halt
+}
+`
+	m := assembly.MustParse("m", src)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Engine.Tracing = true
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	q := s.Engine.SignalByName("top.q")
+	if got := q.Value().Bits; got != 7 {
+		t.Errorf("q = %d, want 7 (second edge is enabled)", got)
+	}
+	// The first edge was gated off: q must have changed exactly once.
+	changes := 0
+	for _, te := range s.Engine.Trace {
+		if te.Sig == q {
+			changes++
+		}
+	}
+	if changes != 1 {
+		t.Errorf("q changed %d times, want 1 (first edge gated)", changes)
+	}
+}
+
+// TestSignalProjection drives and probes struct fields through extf on
+// signals (§2.5.6).
+func TestSignalProjection(t *testing.T) {
+	src := `
+entity @top () -> () {
+  %z8 = const i8 0
+  %z16 = const i16 0
+  %init = {i8 %z8, i16 %z16}
+  %s = sig {i8, i16} %init
+  inst @writer () -> ({i8, i16}$ %s)
+}
+proc @writer () -> ({i8, i16}$ %s) {
+ entry:
+  %f0 = extf i8$ %s, 0
+  %f1 = extf i16$ %s, 1
+  %a = const i8 170
+  %b = const i16 4919
+  %d1 = const time 1ns
+  drv i8$ %f0, %a after %d1
+  drv i16$ %f1, %b after %d1
+  wait %check for %d1
+ check:
+  %got = prb i8$ %f0
+  %want = const i8 170
+  %ok = eq i8 %got, %want
+  call void @llhd.assert (i1 %ok)
+  halt
+}
+`
+	m := assembly.MustParse("m", src)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures", s.Engine.Failures)
+	}
+	sig := s.Engine.SignalByName("top.s")
+	want := val.Agg([]val.Value{val.Int(8, 170), val.Int(16, 4919)})
+	if !sig.Value().Eq(want) {
+		t.Errorf("s = %v, want %v", sig.Value(), want)
+	}
+}
+
+// TestConConnection checks bidirectional con forwarding.
+func TestConConnection(t *testing.T) {
+	src := `
+entity @top () -> () {
+  %z = const i8 0
+  %a = sig i8 %z
+  %b = sig i8 %z
+  con i8$ %a, %b
+  inst @writer () -> (i8$ %a)
+}
+proc @writer () -> (i8$ %a) {
+ entry:
+  %k = const i8 99
+  %d1 = const time 1ns
+  drv i8$ %a, %k after %d1
+  wait %done for %d1
+ done:
+  halt
+}
+`
+	m := assembly.MustParse("m", src)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b := s.Engine.SignalByName("top.b")
+	if got := b.Value().Bits; got != 99 {
+		t.Errorf("b = %d, want 99 (forwarded through con)", got)
+	}
+}
+
+// TestDelTransport checks the del transport-delay instruction.
+func TestDelTransport(t *testing.T) {
+	src := `
+entity @top () -> () {
+  %z = const i8 0
+  %in = sig i8 %z
+  %out = sig i8 %z
+  %d5 = const time 5ns
+  del i8$ %out, %in, %d5
+  inst @writer () -> (i8$ %in)
+}
+proc @writer () -> (i8$ %in) {
+ entry:
+  %k = const i8 123
+  %d1 = const time 1ns
+  %d3 = const time 3ns
+  drv i8$ %in, %k after %d1
+  wait %mid for %d3
+ mid:
+  halt
+}
+`
+	m := assembly.MustParse("m", src)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Engine.Init()
+	// After 3ns the input changed but the output must still be 0.
+	s.Engine.Run(ir.Time{Fs: 3 * ir.Nanosecond})
+	out := s.Engine.SignalByName("top.out")
+	if got := out.Value().Bits; got != 0 {
+		t.Errorf("out = %d before delay elapsed, want 0", got)
+	}
+	s.Engine.Run(ir.Time{})
+	if err := s.Engine.Err(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := out.Value().Bits; got != 123 {
+		t.Errorf("out = %d after delay, want 123", got)
+	}
+}
+
+// TestMultipleAssertsCount checks that the engine counts every failure.
+func TestMultipleAssertsCount(t *testing.T) {
+	src := `
+entity @top () -> () {
+  inst @p () -> ()
+}
+proc @p () -> () {
+ entry:
+  %bad = const i1 0
+  call void @llhd.assert (i1 %bad)
+  call void @llhd.assert (i1 %bad)
+  %good = const i1 1
+  call void @llhd.assert (i1 %good)
+  halt
+}
+`
+	m := assembly.MustParse("m", src)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 2 {
+		t.Errorf("failures = %d, want 2", s.Engine.Failures)
+	}
+}
+
+// TestFunctionRecursion exercises the immediate function interpreter with
+// a recursive factorial.
+func TestFunctionRecursion(t *testing.T) {
+	src := `
+entity @top () -> () {
+  inst @p () -> ()
+}
+proc @p () -> () {
+ entry:
+  %n = const i32 10
+  %f = call i32 @fact (i32 %n)
+  %want = const i32 3628800
+  %ok = eq i32 %f, %want
+  call void @llhd.assert (i1 %ok)
+  halt
+}
+func @fact (i32 %n) i32 {
+ entry:
+  %one = const i32 1
+  %base = ule i32 %n, %one
+  br %base, %rec, %ret1
+ ret1:
+  ret i32 %one
+ rec:
+  %nm1 = sub i32 %n, %one
+  %sub = call i32 @fact (i32 %nm1)
+  %r = mul i32 %n, %sub
+  ret i32 %r
+}
+`
+	m := assembly.MustParse("m", src)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("factorial mismatch: %d failures", s.Engine.Failures)
+	}
+}
+
+func TestElaborationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		top  string
+	}{
+		{"missing top", `entity @x () -> () {}`, "nope"},
+		{"func top", `func @f () void { entry: ret }`, "f"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := assembly.MustParse("m", c.src)
+			if _, err := New(m, c.top); err == nil {
+				t.Error("New unexpectedly succeeded")
+			}
+		})
+	}
+}
+
+func TestTraceRecordsChanges(t *testing.T) {
+	m := assembly.MustParse("counter", counterSrc)
+	s, err := New(m, "top")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Engine.Tracing = true
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	clk := s.Engine.SignalByName("top.clk")
+	edges := 0
+	for _, te := range s.Engine.Trace {
+		if te.Sig == clk {
+			edges++
+		}
+	}
+	if edges != 40 {
+		t.Errorf("clk changed %d times, want 40 (20 cycles)", edges)
+	}
+	// Trace must be time-ordered.
+	for i := 1; i < len(s.Engine.Trace); i++ {
+		if s.Engine.Trace[i].Time.Before(s.Engine.Trace[i-1].Time) {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+}
+
+func ExampleSimulator() {
+	m := assembly.MustParse("counter", counterSrc)
+	s, _ := New(m, "top")
+	s.Run(ir.Time{})
+	count := s.Engine.SignalByName("top.count")
+	fmt.Println("count =", count.Value())
+	// Output: count = 20
+}

@@ -1,0 +1,239 @@
+package svsim
+
+import (
+	"fmt"
+
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/moore"
+	"llhd/internal/val"
+)
+
+// astProc runs one always/initial block as a coroutine: the interpreter
+// lives in its own goroutine and hands control back to the event kernel at
+// every wait point via a channel handshake (the classic threaded-simulator
+// architecture of commercial tools).
+type astProc struct {
+	name string
+	sc   *scope
+	blk  *moore.AlwaysBlock
+
+	wakeCh  chan struct{}
+	yieldCh chan yieldMsg
+	started bool
+	stopped bool
+
+	e *engine.Engine // valid while the coroutine holds control
+
+	locals  map[string]val.Value
+	pending map[string]val.Value // comb blocking writes, flushed per pass
+	reads   map[string]bool      // nets probed during the current pass
+}
+
+type yieldMsg struct {
+	halt    bool
+	refs    []engine.SigRef
+	timeout *ir.Time
+}
+
+func newAstProc(name string, sc *scope, blk *moore.AlwaysBlock, _ any) *astProc {
+	return &astProc{
+		name:    name,
+		sc:      sc,
+		blk:     blk,
+		wakeCh:  make(chan struct{}),
+		yieldCh: make(chan yieldMsg),
+		locals:  map[string]val.Value{},
+		pending: map[string]val.Value{},
+		reads:   map[string]bool{},
+	}
+}
+
+func (p *astProc) Name() string { return p.name }
+
+func (p *astProc) Init(e *engine.Engine) {
+	p.e = e
+	p.started = true
+	go p.main()
+	p.handle(<-p.yieldCh, e)
+}
+
+func (p *astProc) Wake(e *engine.Engine) {
+	if p.stopped {
+		return
+	}
+	p.e = e
+	p.wakeCh <- struct{}{}
+	p.handle(<-p.yieldCh, e)
+}
+
+func (p *astProc) handle(y yieldMsg, e *engine.Engine) {
+	if y.halt {
+		e.Halt(p)
+		p.stopped = true
+		return
+	}
+	e.Subscribe(p, y.refs)
+	if y.timeout != nil {
+		e.ScheduleWake(p, *y.timeout)
+	}
+}
+
+// shutdown terminates the coroutine goroutine.
+func (p *astProc) shutdown() {
+	if p.started && !p.stopped {
+		p.stopped = true
+		close(p.wakeCh)
+	}
+}
+
+// suspend yields to the kernel and blocks until the next wake. It reports
+// false when the simulator shut down.
+func (p *astProc) suspend(y yieldMsg) bool {
+	p.yieldCh <- y
+	_, ok := <-p.wakeCh
+	return ok
+}
+
+// ctrl signals non-local exits of the interpreter.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlFinish
+	ctrlReturn
+	ctrlStop // simulator torn down
+)
+
+func (p *astProc) main() {
+	defer func() {
+		// A panic here would deadlock the kernel; convert to an error.
+		if r := recover(); r != nil {
+			p.e.SetError(fmt.Errorf("svsim: %s: %v", p.name, r))
+			p.yieldCh <- yieldMsg{halt: true}
+		}
+	}()
+	switch p.blk.Kind {
+	case "initial":
+		c, err := p.exec(p.blk.Body)
+		p.finish(c, err)
+	case "always_comb", "always_latch":
+		p.combLoop()
+	case "always_ff", "always":
+		edge := false
+		for _, ev := range p.blk.Events {
+			if ev.Edge == "posedge" || ev.Edge == "negedge" {
+				edge = true
+			}
+		}
+		if edge {
+			p.ffLoop()
+		} else {
+			p.combLoop()
+		}
+	default:
+		p.e.SetError(fmt.Errorf("svsim: %s: unsupported block kind %q", p.name, p.blk.Kind))
+		p.yieldCh <- yieldMsg{halt: true}
+	}
+}
+
+func (p *astProc) finish(c ctrl, err error) {
+	if err != nil {
+		p.e.SetError(fmt.Errorf("svsim: %s: %w", p.name, err))
+	}
+	if c != ctrlStop {
+		p.yieldCh <- yieldMsg{halt: true}
+	}
+}
+
+// combLoop evaluates the body, flushes blocking writes, and re-arms on the
+// signals read during the pass.
+func (p *astProc) combLoop() {
+	for {
+		clear(p.pending)
+		clear(p.reads)
+		c, err := p.exec(p.blk.Body)
+		if err != nil || c == ctrlFinish {
+			p.finish(c, err)
+			return
+		}
+		if c == ctrlStop {
+			return
+		}
+		// Flush blocking writes as delta drives.
+		for n, v := range p.pending {
+			p.e.Drive(p.sc.sigs[n], v, ir.Time{})
+		}
+		var refs []engine.SigRef
+		for n := range p.reads {
+			if _, wrote := p.pending[n]; !wrote {
+				refs = append(refs, p.sc.sigs[n])
+			}
+		}
+		if !p.suspend(yieldMsg{refs: refs}) {
+			return
+		}
+	}
+}
+
+// ffLoop waits for the configured edges, then runs the body.
+func (p *astProc) ffLoop() {
+	type edge struct {
+		net  string
+		mode string
+		prev uint64
+	}
+	var edges []edge
+	var refs []engine.SigRef
+	for _, ev := range p.blk.Events {
+		id, ok := ev.Sig.(*moore.Ident)
+		if !ok {
+			p.e.SetError(fmt.Errorf("svsim: %s: edge event must name a net", p.name))
+			p.yieldCh <- yieldMsg{halt: true}
+			return
+		}
+		edges = append(edges, edge{net: id.Name, mode: ev.Edge})
+		refs = append(refs, p.sc.sigs[id.Name])
+	}
+	for {
+		for i := range edges {
+			edges[i].prev = p.e.Probe(p.sc.sigs[edges[i].net]).Bits
+		}
+		if !p.suspend(yieldMsg{refs: refs}) {
+			return
+		}
+		fired := false
+		for i := range edges {
+			now := p.e.Probe(p.sc.sigs[edges[i].net]).Bits
+			switch edges[i].mode {
+			case "posedge":
+				if edges[i].prev == 0 && now != 0 {
+					fired = true
+				}
+			case "negedge":
+				if edges[i].prev != 0 && now == 0 {
+					fired = true
+				}
+			default:
+				if edges[i].prev != now {
+					fired = true
+				}
+			}
+		}
+		if !fired {
+			continue
+		}
+		clear(p.pending)
+		c, err := p.exec(p.blk.Body)
+		if err != nil || c == ctrlFinish {
+			p.finish(c, err)
+			return
+		}
+		if c == ctrlStop {
+			return
+		}
+		for n, v := range p.pending {
+			p.e.Drive(p.sc.sigs[n], v, ir.Time{})
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package val implements the LLHD runtime value domain and the evaluation
+// of pure LLHD instructions over it. It is shared by the reference
+// interpreter (internal/sim), the compiled simulator (internal/blaze), and
+// the constant-folding pass (internal/pass).
+package val
+
+import (
+	"fmt"
+	"strings"
+
+	"llhd/internal/ir"
+	"llhd/internal/logic"
+)
+
+// Kind discriminates runtime value representations.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindInt   Kind = iota // iN and nN: Bits/Width
+	KindTime              // time: T
+	KindLogic             // lN: L
+	KindAgg               // arrays and structs: Elems
+)
+
+// Value is a runtime LLHD value. Integers are capped at 64 bits (wider
+// words are represented as arrays by frontends). The zero Value is the
+// 1-bit integer 0.
+type Value struct {
+	Kind  Kind
+	Width int    // integer bit width
+	Bits  uint64 // integer payload, always masked to Width
+	T     ir.Time
+	L     logic.Vector
+	Elems []Value
+}
+
+// Int returns a width-w integer value.
+func Int(w int, bits uint64) Value {
+	if w <= 0 {
+		w = 1
+	}
+	return Value{Kind: KindInt, Width: w, Bits: ir.MaskWidth(bits, w)}
+}
+
+// Bool returns an i1 value.
+func Bool(b bool) Value {
+	if b {
+		return Int(1, 1)
+	}
+	return Int(1, 0)
+}
+
+// TimeVal wraps a time into a value.
+func TimeVal(t ir.Time) Value { return Value{Kind: KindTime, T: t} }
+
+// LogicVal wraps a logic vector.
+func LogicVal(v logic.Vector) Value { return Value{Kind: KindLogic, L: v} }
+
+// Agg builds an aggregate from elements.
+func Agg(elems []Value) Value { return Value{Kind: KindAgg, Elems: elems} }
+
+// Default returns the zero-initialized value for an IR type: 0 for
+// integers, U for logic, zero time, recursively for aggregates.
+func Default(ty *ir.Type) Value {
+	switch ty.Kind {
+	case ir.IntKind, ir.EnumKind:
+		return Int(ty.Width, 0)
+	case ir.TimeKind:
+		return TimeVal(ir.Time{})
+	case ir.LogicKind:
+		return LogicVal(logic.NewVector(ty.Width))
+	case ir.ArrayKind:
+		elems := make([]Value, ty.Width)
+		for i := range elems {
+			elems[i] = Default(ty.Elem)
+		}
+		return Agg(elems)
+	case ir.StructKind:
+		elems := make([]Value, len(ty.Fields))
+		for i, f := range ty.Fields {
+			elems[i] = Default(f)
+		}
+		return Agg(elems)
+	case ir.PointerKind, ir.SignalKind:
+		return Value{Kind: KindInt, Width: 64}
+	default:
+		return Value{Kind: KindInt, Width: 1}
+	}
+}
+
+// IsTrue reports whether the value is a nonzero i1.
+func (v Value) IsTrue() bool { return v.Kind == KindInt && v.Bits != 0 }
+
+// Eq reports deep equality of two runtime values.
+func (v Value) Eq(u Value) bool {
+	if v.Kind != u.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.Width == u.Width && v.Bits == u.Bits
+	case KindTime:
+		return v.T == u.T
+	case KindLogic:
+		return v.L.Eq(u.L)
+	case KindAgg:
+		if len(v.Elems) != len(u.Elems) {
+			return false
+		}
+		for i := range v.Elems {
+			if !v.Elems[i].Eq(u.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Clone deep-copies the value (aggregates and logic vectors share no
+// storage with the original).
+func (v Value) Clone() Value {
+	switch v.Kind {
+	case KindLogic:
+		return LogicVal(v.L.Clone())
+	case KindAgg:
+		elems := make([]Value, len(v.Elems))
+		for i := range v.Elems {
+			elems[i] = v.Elems[i].Clone()
+		}
+		return Agg(elems)
+	default:
+		return v
+	}
+}
+
+// String renders the value for traces and error messages.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Bits)
+	case KindTime:
+		return v.T.String()
+	case KindLogic:
+		return v.L.String()
+	case KindAgg:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return "?"
+}
+
+// Unary evaluates a pure unary LLHD op.
+func Unary(op ir.Opcode, ty *ir.Type, a Value) (Value, error) {
+	switch op {
+	case ir.OpNot:
+		if a.Kind == KindLogic {
+			out := logic.NewVector(len(a.L))
+			for i, x := range a.L {
+				out[i] = logic.Not(x)
+			}
+			return LogicVal(out), nil
+		}
+		return Int(a.Width, ^a.Bits), nil
+	case ir.OpNeg:
+		return Int(a.Width, -a.Bits), nil
+	}
+	return Value{}, fmt.Errorf("val: not a unary op: %s", op)
+}
+
+// Binary evaluates a pure binary LLHD op on two same-typed values.
+func Binary(op ir.Opcode, a, b Value) (Value, error) {
+	if a.Kind == KindLogic || b.Kind == KindLogic {
+		return binaryLogic(op, a, b)
+	}
+	if a.Kind != KindInt || b.Kind != KindInt {
+		return Value{}, fmt.Errorf("val: binary %s on non-integer values", op)
+	}
+	w := a.Width
+	switch op {
+	case ir.OpAnd:
+		return Int(w, a.Bits&b.Bits), nil
+	case ir.OpOr:
+		return Int(w, a.Bits|b.Bits), nil
+	case ir.OpXor:
+		return Int(w, a.Bits^b.Bits), nil
+	case ir.OpAdd:
+		return Int(w, a.Bits+b.Bits), nil
+	case ir.OpSub:
+		return Int(w, a.Bits-b.Bits), nil
+	case ir.OpMul:
+		return Int(w, a.Bits*b.Bits), nil
+	case ir.OpUdiv:
+		if b.Bits == 0 {
+			return Value{}, fmt.Errorf("val: division by zero")
+		}
+		return Int(w, a.Bits/b.Bits), nil
+	case ir.OpSdiv:
+		if b.Bits == 0 {
+			return Value{}, fmt.Errorf("val: division by zero")
+		}
+		return Int(w, uint64(ir.SignExtend(a.Bits, w)/ir.SignExtend(b.Bits, w))), nil
+	case ir.OpUmod:
+		if b.Bits == 0 {
+			return Value{}, fmt.Errorf("val: modulo by zero")
+		}
+		return Int(w, a.Bits%b.Bits), nil
+	case ir.OpSmod:
+		if b.Bits == 0 {
+			return Value{}, fmt.Errorf("val: modulo by zero")
+		}
+		return Int(w, uint64(ir.SignExtend(a.Bits, w)%ir.SignExtend(b.Bits, w))), nil
+	case ir.OpShl:
+		if b.Bits >= 64 {
+			return Int(w, 0), nil
+		}
+		return Int(w, a.Bits<<b.Bits), nil
+	case ir.OpShr:
+		if b.Bits >= 64 {
+			return Int(w, 0), nil
+		}
+		return Int(w, a.Bits>>b.Bits), nil
+	case ir.OpAshr:
+		sh := b.Bits
+		if sh >= uint64(w) {
+			sh = uint64(w - 1)
+		}
+		return Int(w, uint64(ir.SignExtend(a.Bits, w)>>sh)), nil
+	}
+	if op.IsCompare() {
+		return Compare(op, a, b)
+	}
+	return Value{}, fmt.Errorf("val: not a binary op: %s", op)
+}
+
+func binaryLogic(op ir.Opcode, a, b Value) (Value, error) {
+	if op == ir.OpEq || op == ir.OpNeq {
+		eq := a.L.Eq(b.L)
+		if op == ir.OpNeq {
+			eq = !eq
+		}
+		return Bool(eq), nil
+	}
+	var f func(x, y logic.Value) logic.Value
+	switch op {
+	case ir.OpAnd:
+		f = logic.And
+	case ir.OpOr:
+		f = logic.Or
+	case ir.OpXor:
+		f = logic.Xor
+	default:
+		return Value{}, fmt.Errorf("val: %s unsupported on logic values", op)
+	}
+	out := logic.NewVector(len(a.L))
+	for i := range out {
+		out[i] = f(a.L[i], b.L[i])
+	}
+	return LogicVal(out), nil
+}
+
+// Compare evaluates a comparison producing an i1.
+func Compare(op ir.Opcode, a, b Value) (Value, error) {
+	switch op {
+	case ir.OpEq:
+		return Bool(a.Eq(b)), nil
+	case ir.OpNeq:
+		return Bool(!a.Eq(b)), nil
+	}
+	if a.Kind != KindInt || b.Kind != KindInt {
+		return Value{}, fmt.Errorf("val: ordered comparison %s on non-integers", op)
+	}
+	w := a.Width
+	sa, sb := ir.SignExtend(a.Bits, w), ir.SignExtend(b.Bits, w)
+	switch op {
+	case ir.OpUlt:
+		return Bool(a.Bits < b.Bits), nil
+	case ir.OpUgt:
+		return Bool(a.Bits > b.Bits), nil
+	case ir.OpUle:
+		return Bool(a.Bits <= b.Bits), nil
+	case ir.OpUge:
+		return Bool(a.Bits >= b.Bits), nil
+	case ir.OpSlt:
+		return Bool(sa < sb), nil
+	case ir.OpSgt:
+		return Bool(sa > sb), nil
+	case ir.OpSle:
+		return Bool(sa <= sb), nil
+	case ir.OpSge:
+		return Bool(sa >= sb), nil
+	}
+	return Value{}, fmt.Errorf("val: not a comparison: %s", op)
+}
+
+// Mux selects among the aggregate's elements by the selector, clamping out
+// of range selections to the last element (§2.5.4).
+func Mux(choices Value, sel Value) (Value, error) {
+	if choices.Kind != KindAgg || len(choices.Elems) == 0 {
+		return Value{}, fmt.Errorf("val: mux needs a non-empty aggregate")
+	}
+	i := int(sel.Bits)
+	if i >= len(choices.Elems) {
+		i = len(choices.Elems) - 1
+	}
+	return choices.Elems[i].Clone(), nil
+}
+
+// ExtF extracts element/field idx from an aggregate.
+func ExtF(a Value, idx int) (Value, error) {
+	if a.Kind != KindAgg || idx < 0 || idx >= len(a.Elems) {
+		return Value{}, fmt.Errorf("val: extf index %d out of range", idx)
+	}
+	return a.Elems[idx].Clone(), nil
+}
+
+// InsF returns a with element/field idx replaced by v.
+func InsF(a, v Value, idx int) (Value, error) {
+	if a.Kind != KindAgg || idx < 0 || idx >= len(a.Elems) {
+		return Value{}, fmt.Errorf("val: insf index %d out of range", idx)
+	}
+	out := a.Clone()
+	out.Elems[idx] = v.Clone()
+	return out, nil
+}
+
+// ExtS extracts a slice of length n at offset off: bits of an integer,
+// elements of an array, positions of a logic vector.
+func ExtS(a Value, off, n int) (Value, error) {
+	switch a.Kind {
+	case KindInt:
+		if off < 0 || off+n > a.Width {
+			return Value{}, fmt.Errorf("val: exts [%d..%d) out of i%d", off, off+n, a.Width)
+		}
+		return Int(n, a.Bits>>uint(off)), nil
+	case KindLogic:
+		if off < 0 || off+n > len(a.L) {
+			return Value{}, fmt.Errorf("val: exts out of range")
+		}
+		return LogicVal(a.L[off : off+n].Clone()), nil
+	case KindAgg:
+		if off < 0 || off+n > len(a.Elems) {
+			return Value{}, fmt.Errorf("val: exts out of range")
+		}
+		out := make([]Value, n)
+		for i := 0; i < n; i++ {
+			out[i] = a.Elems[off+i].Clone()
+		}
+		return Agg(out), nil
+	}
+	return Value{}, fmt.Errorf("val: exts on unsupported value")
+}
+
+// InsS returns a with the slice [off, off+n) replaced by v.
+func InsS(a, v Value, off, n int) (Value, error) {
+	switch a.Kind {
+	case KindInt:
+		if off < 0 || off+n > a.Width {
+			return Value{}, fmt.Errorf("val: inss out of range")
+		}
+		mask := ir.MaskWidth(^uint64(0), n) << uint(off)
+		bits := a.Bits&^mask | v.Bits<<uint(off)&mask
+		return Int(a.Width, bits), nil
+	case KindLogic:
+		if off < 0 || off+n > len(a.L) {
+			return Value{}, fmt.Errorf("val: inss out of range")
+		}
+		out := a.L.Clone()
+		copy(out[off:off+n], v.L)
+		return LogicVal(out), nil
+	case KindAgg:
+		if off < 0 || off+n > len(a.Elems) {
+			return Value{}, fmt.Errorf("val: inss out of range")
+		}
+		out := a.Clone()
+		for i := 0; i < n; i++ {
+			out.Elems[off+i] = v.Elems[i].Clone()
+		}
+		return out, nil
+	}
+	return Value{}, fmt.Errorf("val: inss on unsupported value")
+}

@@ -1,0 +1,139 @@
+package val
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llhd/internal/ir"
+)
+
+func TestDefaults(t *testing.T) {
+	if v := Default(ir.IntType(8)); v.Kind != KindInt || v.Bits != 0 || v.Width != 8 {
+		t.Errorf("Default(i8) = %+v", v)
+	}
+	agg := Default(ir.ArrayType(3, ir.IntType(4)))
+	if agg.Kind != KindAgg || len(agg.Elems) != 3 {
+		t.Errorf("Default(array) = %+v", agg)
+	}
+	st := Default(ir.StructType(ir.IntType(1), ir.TimeType()))
+	if st.Kind != KindAgg || len(st.Elems) != 2 || st.Elems[1].Kind != KindTime {
+		t.Errorf("Default(struct) = %+v", st)
+	}
+	lg := Default(ir.LogicType(4))
+	if lg.Kind != KindLogic || len(lg.L) != 4 {
+		t.Errorf("Default(l4) = %+v", lg)
+	}
+}
+
+func TestBinaryMasksToWidth(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := Int(8, uint64(a)), Int(8, uint64(b))
+		sum, err := Binary(ir.OpAdd, x, y)
+		if err != nil {
+			return false
+		}
+		return sum.Bits == uint64(uint8(a+b)) && sum.Width == 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	for _, op := range []ir.Opcode{ir.OpUdiv, ir.OpSdiv, ir.OpUmod, ir.OpSmod} {
+		if _, err := Binary(op, Int(8, 1), Int(8, 0)); err == nil {
+			t.Errorf("%v by zero not rejected", op)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	minus1 := Int(8, 0xFF)
+	one := Int(8, 1)
+	lt, _ := Compare(ir.OpSlt, minus1, one)
+	if !lt.IsTrue() {
+		t.Error("-1 <s 1 must hold")
+	}
+	ult, _ := Compare(ir.OpUlt, minus1, one)
+	if ult.IsTrue() {
+		t.Error("255 <u 1 must not hold")
+	}
+	q, err := Binary(ir.OpSdiv, minus1, one)
+	if err != nil || ir.SignExtend(q.Bits, 8) != -1 {
+		t.Errorf("-1 /s 1 = %v (err %v)", q, err)
+	}
+	sr, _ := Binary(ir.OpAshr, minus1, Int(8, 3))
+	if sr.Bits != 0xFF {
+		t.Errorf("-1 >>s 3 = %#x, want 0xFF", sr.Bits)
+	}
+}
+
+func TestInsExtRoundTrip(t *testing.T) {
+	f := func(base uint32, part uint8, offRaw uint8) bool {
+		off := int(offRaw % 24)
+		v := Int(32, uint64(base))
+		ins, err := InsS(v, Int(8, uint64(part)), off, 8)
+		if err != nil {
+			return false
+		}
+		back, err := ExtS(ins, off, 8)
+		if err != nil {
+			return false
+		}
+		return back.Bits == uint64(part)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateInsExt(t *testing.T) {
+	arr := Agg([]Value{Int(8, 1), Int(8, 2), Int(8, 3)})
+	e, err := ExtF(arr, 1)
+	if err != nil || e.Bits != 2 {
+		t.Fatalf("ExtF = %v (%v)", e, err)
+	}
+	upd, err := InsF(arr, Int(8, 9), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Elems[1].Bits != 9 || arr.Elems[1].Bits != 2 {
+		t.Error("InsF must not mutate the original")
+	}
+	if _, err := ExtF(arr, 5); err == nil {
+		t.Error("out of range ExtF accepted")
+	}
+	sl, err := ExtS(arr, 1, 2)
+	if err != nil || len(sl.Elems) != 2 || sl.Elems[0].Bits != 2 {
+		t.Errorf("ExtS = %v (%v)", sl, err)
+	}
+}
+
+func TestMuxClamps(t *testing.T) {
+	choices := Agg([]Value{Int(4, 1), Int(4, 2)})
+	v, err := Mux(choices, Int(4, 7))
+	if err != nil || v.Bits != 2 {
+		t.Errorf("out-of-range mux should clamp to last: %v (%v)", v, err)
+	}
+}
+
+func TestEqAndCloneIndependence(t *testing.T) {
+	a := Agg([]Value{Int(8, 1), Agg([]Value{Int(4, 2)})})
+	b := a.Clone()
+	if !a.Eq(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Elems[1].Elems[0] = Int(4, 9)
+	if a.Eq(b) {
+		t.Error("mutating the clone changed the original (shared storage)")
+	}
+}
+
+func TestEqDistinguishesWidth(t *testing.T) {
+	if Int(8, 1).Eq(Int(9, 1)) {
+		t.Error("values of different widths must differ")
+	}
+	if Bool(true).Eq(Bool(false)) {
+		t.Error("true == false")
+	}
+}

@@ -1,0 +1,111 @@
+// Package llhd is the public facade of the LLHD reproduction: a
+// multi-level intermediate representation for hardware description
+// languages (Schuiki et al., PLDI 2020), with a SystemVerilog frontend
+// (Moore), a reference interpreter (LLHD-Sim), a compiled simulator
+// (LLHD-Blaze), and the behavioural-to-structural lowering passes.
+//
+// Typical use:
+//
+//	m, err := llhd.CompileSystemVerilog("design", src) // Moore frontend
+//	m, err := llhd.ParseAssembly("design", text)       // .llhd text
+//	err = llhd.Lower(m)                                // §4 lowering
+//	sim, err := llhd.NewInterpreter(m, "top_tb")       // LLHD-Sim
+//	sim, err := llhd.NewCompiled(m, "top_tb")          // LLHD-Blaze
+package llhd
+
+import (
+	"io"
+
+	"llhd/internal/assembly"
+	"llhd/internal/bitcode"
+	"llhd/internal/blaze"
+	"llhd/internal/ir"
+	"llhd/internal/moore"
+	"llhd/internal/pass"
+	"llhd/internal/sim"
+)
+
+// Module is an LLHD module: a collection of functions, processes, and
+// entities.
+type Module = ir.Module
+
+// Time is a simulation time (femtoseconds, delta, epsilon).
+type Time = ir.Time
+
+// Level identifies one of the three LLHD dialects.
+type Level = ir.Level
+
+// The three IR levels; Netlist ⊂ Structural ⊂ Behavioural.
+const (
+	Behavioural = ir.Behavioural
+	Structural  = ir.Structural
+	Netlist     = ir.Netlist
+)
+
+// CompileSystemVerilog maps SystemVerilog source to Behavioural LLHD using
+// the Moore frontend.
+func CompileSystemVerilog(name, src string) (*Module, error) {
+	return moore.Compile(name, src)
+}
+
+// ParseAssembly reads LLHD assembly text.
+func ParseAssembly(name, src string) (*Module, error) {
+	return assembly.Parse(name, src)
+}
+
+// PrintAssembly writes the module as LLHD assembly text.
+func PrintAssembly(w io.Writer, m *Module) error {
+	return assembly.Print(w, m)
+}
+
+// AssemblyString renders the module as LLHD assembly text.
+func AssemblyString(m *Module) string {
+	return assembly.String(m)
+}
+
+// EncodeBitcode serializes the module to the binary on-disk format.
+func EncodeBitcode(m *Module) ([]byte, error) {
+	return bitcode.Encode(m)
+}
+
+// DecodeBitcode reads a module from bitcode.
+func DecodeBitcode(data []byte) (*Module, error) {
+	return bitcode.Decode(data)
+}
+
+// Verify checks module well-formedness at the given level.
+func Verify(m *Module, level Level) error {
+	return ir.Verify(m, level)
+}
+
+// LevelOf returns the most restrictive level the module satisfies.
+func LevelOf(m *Module) Level {
+	return ir.LevelOf(m)
+}
+
+// Lower runs the §4 behavioural-to-structural pipeline (ECM, TCM, TCFE,
+// process lowering, desequentialization, structural cleanups) to fixpoint.
+// Testbench processes without a structural equivalent are left behavioural;
+// use Verify(m, Structural) to require full lowering.
+func Lower(m *Module) error {
+	return pass.LoweringPipeline().RunFixpoint(m, 8)
+}
+
+// Simulator is the common view of both simulation engines.
+type Simulator interface {
+	// Run initializes and simulates until the queue drains or physical
+	// time exceeds limit (zero limit: unbounded).
+	Run(limit Time) error
+}
+
+// NewInterpreter elaborates the design under the named top unit on the
+// reference interpreter (LLHD-Sim).
+func NewInterpreter(m *Module, top string) (*sim.Simulator, error) {
+	return sim.New(m, top)
+}
+
+// NewCompiled elaborates the design on the closure-compiled simulator
+// (the LLHD-Blaze analog).
+func NewCompiled(m *Module, top string) (*blaze.Simulator, error) {
+	return blaze.New(m, top)
+}
