@@ -1,0 +1,3 @@
+module llhd
+
+go 1.21

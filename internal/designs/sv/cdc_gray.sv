@@ -1,0 +1,57 @@
+// Clock-domain crossing of a counter via Gray encoding and a two-flop
+// synchronizer. Two free-running, unrelated clocks (4ns and 6ns periods);
+// after the source domain stops, the destination domain must have converged
+// on the exact final count.
+module sync2 #(parameter int W = 8) (input clk, input [W-1:0] d, output [W-1:0] q);
+  bit [W-1:0] s1;
+  always_ff @(posedge clk) begin
+    s1 <= d;
+    q <= s1;
+  end
+endmodule
+
+module cdc_gray_tb;
+  bit clk_a, clk_b, inc;
+  bit [7:0] cnt, g, gs, dec;
+
+  always_ff @(posedge clk_a) begin
+    if (inc) cnt <= cnt + 1;
+  end
+  assign g = cnt ^ (cnt >> 1);
+  sync2 #(.W(8)) i_sync (.clk(clk_b), .d(g), .q(gs));
+  always_comb begin
+    automatic int i;
+    automatic bit [7:0] acc;
+    acc = gs;
+    for (i = 1; i < 8; i = i + 1) begin
+      acc = acc ^ (gs >> i);
+    end
+    dec = acc;
+  end
+
+  // Source domain: 96 increments at a 4ns period, then idle.
+  initial begin
+    automatic int i;
+    inc <= 1;
+    for (i = 0; i < 96; i = i + 1) begin
+      clk_a <= #1ns 1;
+      clk_a <= #3ns 0;
+      #4ns;
+    end
+    inc <= 0;
+  end
+
+  // Destination domain: free-running 6ns clock, outlives the source.
+  initial begin
+    automatic int i;
+    for (i = 0; i < 80; i = i + 1) begin
+      clk_b <= #1ns 1;
+      clk_b <= #3ns 0;
+      #6ns;
+    end
+    assert(cnt == 96);
+    assert(gs == (96 ^ (96 >> 1)));
+    assert(dec == 96);
+    $finish;
+  end
+endmodule

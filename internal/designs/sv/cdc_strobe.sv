@@ -1,0 +1,54 @@
+// Strobe (toggle) clock-domain-crossing synchronizer: each source-domain
+// send toggles a level, the destination domain synchronizes the level and
+// recovers one pulse per toggle. The testbench counts recovered pulses.
+module cdc_strobe_tb;
+  bit clk_a, clk_b;
+  bit send, t;
+  bit s1, s2, s3;
+  bit [7:0] rx_cnt;
+
+  // Source domain: toggle on send.
+  always_ff @(posedge clk_a) begin
+    if (send) t <= ~t;
+  end
+
+  // Destination domain: two-flop synchronizer plus edge detector.
+  always_ff @(posedge clk_b) begin
+    s1 <= t;
+    s2 <= s1;
+    s3 <= s2;
+    if (s2 ^ s3) rx_cnt <= rx_cnt + 1;
+  end
+
+  // Source domain: 20 strobes, one every eight 4ns cycles.
+  initial begin
+    automatic int i;
+    automatic int j;
+    for (i = 0; i < 20; i = i + 1) begin
+      send <= 1;
+      clk_a <= #1ns 1;
+      clk_a <= #3ns 0;
+      #4ns;
+      send <= 0;
+      for (j = 0; j < 7; j = j + 1) begin
+        clk_a <= #1ns 1;
+        clk_a <= #3ns 0;
+        #4ns;
+      end
+    end
+  end
+
+  // Destination domain: 6ns period, runs past the last strobe.
+  initial begin
+    automatic int i;
+    for (i = 0; i < 120; i = i + 1) begin
+      clk_b <= #1ns 1;
+      clk_b <= #3ns 0;
+      #6ns;
+    end
+    assert(rx_cnt == 20);
+    assert(t == 0);
+    assert(s3 == t);
+    $finish;
+  end
+endmodule

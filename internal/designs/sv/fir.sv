@@ -1,0 +1,47 @@
+// 4-tap FIR filter (coefficients 1, 2, 3, 4) with a cycle-accurate software
+// model in the testbench.
+module fir #(parameter int W = 16) (input clk, input rst, input [W-1:0] x, output [W-1:0] y);
+  bit [W-1:0] d0, d1, d2, d3;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      d0 <= 0;
+      d1 <= 0;
+      d2 <= 0;
+      d3 <= 0;
+    end else begin
+      d3 <= d2;
+      d2 <= d1;
+      d1 <= d0;
+      d0 <= x;
+    end
+  end
+  assign y = d0 + 2 * d1 + 3 * d2 + 4 * d3;
+endmodule
+
+module fir_tb;
+  bit clk, rst;
+  bit [15:0] x, y;
+  fir #(.W(16)) i_dut (.clk(clk), .rst(rst), .x(x), .y(y));
+
+  initial begin
+    automatic int i;
+    automatic bit [15:0] m0, m1, m2, m3, exp, sample;
+    rst <= 1;
+    clk <= #1ns 1;
+    clk <= #2ns 0;
+    #2ns;
+    rst <= 0;
+    m0 = 0; m1 = 0; m2 = 0; m3 = 0;
+    for (i = 0; i < 200; i = i + 1) begin
+      sample = i * 3 + 1;
+      x <= sample;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+      m3 = m2; m2 = m1; m1 = m0; m0 = sample;
+      exp = m0 + 2 * m1 + 3 * m2 + 4 * m3;
+      assert(y == exp);
+    end
+    $finish;
+  end
+endmodule

@@ -1,0 +1,49 @@
+// Gray encoder/decoder with an exhaustive 8-bit self-checking testbench.
+// Checks the two defining properties: decode(encode(i)) == i, and adjacent
+// codes differ in exactly one bit position.
+module gray_enc #(parameter int W = 8) (input [W-1:0] bin, output [W-1:0] g);
+  assign g = bin ^ (bin >> 1);
+endmodule
+
+module gray_dec #(parameter int W = 8) (input [W-1:0] g, output [W-1:0] bin);
+  always_comb begin
+    automatic int i;
+    automatic bit [7:0] acc;
+    acc = g;
+    for (i = 1; i < W; i = i + 1) begin
+      acc = acc ^ (g >> i);
+    end
+    bin = acc;
+  end
+endmodule
+
+module gray_tb;
+  bit [7:0] b, g, dec;
+  bit [7:0] prev;
+  gray_enc #(.W(8)) i_enc (.bin(b), .g(g));
+  gray_dec #(.W(8)) i_dec (.g(g), .bin(dec));
+
+  function bit [3:0] popcount(bit [7:0] x);
+    int k;
+    bit [3:0] n;
+    n = 0;
+    for (k = 0; k < 8; k = k + 1) begin
+      if (x[k]) n = n + 1;
+    end
+    popcount = n;
+  endfunction
+
+  initial begin
+    automatic int i;
+    automatic bit [7:0] last;
+    last = 0;
+    for (i = 0; i < 256; i = i + 1) begin
+      b <= i[7:0];
+      #1ns;
+      assert(dec == i[7:0]);
+      if (i > 0) assert(popcount(g ^ last) == 1);
+      last = g;
+    end
+    $finish;
+  end
+endmodule
