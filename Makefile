@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test bench bench-kernel
+
+# check is the tier-1 verification: the build, go vet, and the full test
+# suite must all pass.
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench regenerates the paper's evaluation benchmarks (Table 2/4, Figure 5).
+bench:
+	$(GO) test -bench . -benchmem -run xxx .
+
+# bench-kernel runs the event-kernel microbenchmarks (drive storm, wake
+# fan-out, delta cascade); all must report 0 allocs/op at steady state.
+bench-kernel:
+	$(GO) test -bench BenchmarkEngineKernel -benchmem -run xxx ./internal/engine/

@@ -67,6 +67,7 @@ const (
 
 // proc is one compiled unit instance: the register file plus its code.
 type proc struct {
+	engine.ProcHandle
 	name   string
 	code   []blockCode
 	regs   []val.Value
@@ -102,7 +103,7 @@ func (p *proc) run(e *engine.Engine) {
 	const maxSteps = 100_000_000
 	for steps := 0; steps < maxSteps; steps++ {
 		if p.cur < 0 || p.cur >= len(p.code) {
-			e.Halt(p)
+			e.Halt(p.ProcID())
 			p.halted = true
 			return
 		}
@@ -122,7 +123,7 @@ func (p *proc) run(e *engine.Engine) {
 		case blockSuspend:
 			return
 		case blockHalt:
-			e.Halt(p)
+			e.Halt(p.ProcID())
 			p.halted = true
 			return
 		default:
@@ -142,5 +143,5 @@ func (p *proc) subscribeEntity(e *engine.Engine) {
 			refs = append(refs, r)
 		}
 	}
-	e.Subscribe(p, refs)
+	e.Subscribe(p.ProcID(), refs)
 }

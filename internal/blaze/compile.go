@@ -276,9 +276,9 @@ func (c *compiler) compileTerm(b *ir.Block, in *ir.Inst) (func(p *proc, e *engin
 			timeout = c.operand(in.TimeArg)
 		}
 		return func(p *proc, e *engine.Engine) (int, error) {
-			e.Subscribe(p, refs)
+			e.Subscribe(p.ProcID(), refs)
 			if timeout != nil {
-				e.ScheduleWake(p, timeout(p).T)
+				e.ScheduleWake(p.ProcID(), timeout(p).T)
 			}
 			applyMoves(p, moves)
 			p.cur = dest

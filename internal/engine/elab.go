@@ -316,6 +316,7 @@ func widthOf(ty *ir.Type) int {
 // connection. A change on either side is forwarded to the other; equal
 // values produce no change, so forwarding terminates.
 type conProcess struct {
+	ProcHandle
 	name         string
 	a, b         SigRef
 	prevA, prevB val.Value
@@ -324,7 +325,7 @@ type conProcess struct {
 func (c *conProcess) Name() string { return c.name }
 
 func (c *conProcess) Init(e *Engine) {
-	e.Subscribe(c, []SigRef{c.a, c.b})
+	e.Subscribe(c.ProcID(), []SigRef{c.a, c.b})
 	c.prevA, c.prevB = e.Probe(c.a), e.Probe(c.b)
 	// Propagate the first operand's initial value to the second.
 	e.Drive(c.b, c.prevA, ir.Time{})

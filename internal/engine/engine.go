@@ -1,9 +1,8 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"llhd/internal/ir"
 	"llhd/internal/val"
@@ -13,6 +12,11 @@ import (
 // compiled) or an entity's reactive body. The engine calls Init once at
 // time zero and Wake every time the process's sensitivity set fires or its
 // wait timeout expires.
+//
+// Every implementation embeds ProcHandle, which stores the ProcID the
+// engine assigns in AddProcess; the scheduling entry points (Subscribe,
+// ScheduleWake, Halt) take that ID and are O(1) in the number of
+// registered processes.
 type Process interface {
 	// Name returns the hierarchical instance name for diagnostics.
 	Name() string
@@ -20,7 +24,30 @@ type Process interface {
 	Init(e *Engine)
 	// Wake resumes the process after a sensitivity or timeout event.
 	Wake(e *Engine)
+	// SetProcID stores the engine-assigned handle (see ProcHandle).
+	SetProcID(id ProcID)
 }
+
+// ProcID is the dense index handle of a registered process. It is assigned
+// by AddProcess and used by Subscribe, ScheduleWake, and Halt for O(1)
+// dispatch.
+type ProcID int32
+
+// NoProc is the handle of a process that was never registered.
+const NoProc ProcID = -1
+
+// ProcHandle is the embeddable implementation of the Process identity
+// methods. AddProcess stores the assigned ProcID into it; ProcID() hands it
+// back for the scheduling calls. The zero ProcHandle reports NoProc, so a
+// process that skipped AddProcess fails loudly instead of aliasing the
+// first registered process.
+type ProcHandle struct{ idPlus1 ProcID }
+
+// SetProcID records the engine-assigned handle.
+func (h *ProcHandle) SetProcID(id ProcID) { h.idPlus1 = id + 1 }
+
+// ProcID returns the engine-assigned handle, or NoProc before AddProcess.
+func (h *ProcHandle) ProcID() ProcID { return h.idPlus1 - 1 }
 
 // procEntry tracks one registered process and its scheduling state.
 type procEntry struct {
@@ -28,48 +55,37 @@ type procEntry struct {
 	// oneShot: sensitivity is cleared when the process wakes (processes
 	// re-arm at each wait). Entities keep their sensitivity forever.
 	oneShot bool
+	halted  bool
 	// armed sensitivity generation: invalidates stale subscriptions and
 	// pending timeouts after the process has been woken by another cause.
-	gen int
+	gen uint64
+	// wakeStamp marks the step in which the entry was last queued to wake,
+	// deduplicating sensitivity hits and timeouts without a per-step map.
+	wakeStamp uint64
 	// subscribedTo lists the signals currently holding a subscription to
 	// this entry, so one-shot wakes can unsubscribe in O(own signals).
 	subscribedTo []*Signal
-
-	halted bool
 }
 
-// event is a scheduled state change or wakeup.
+// event is a scheduled state change or wakeup. Events live inline in their
+// time slot's slice: scheduling appends, never allocates per event.
 type event struct {
-	time ir.Time
-	seq  int // tie-break: preserves scheduling order within one instant
-
 	// Drive events.
-	ref    SigRef
-	value  val.Value
-	isWake bool
+	ref   SigRef
+	value val.Value
 
 	// Wake events (wait timeouts).
-	entry *procEntry
-	gen   int
+	isWake bool
+	proc   ProcID
+	gen    uint64
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if c := h[i].time.Compare(h[j].time); c != 0 {
-		return c < 0
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// timeSlot is the bucket of all events scheduled for one (fs, delta, eps)
+// instant. Slots are pooled and their event slices reused, so steady-state
+// scheduling is allocation-free.
+type timeSlot struct {
+	time   ir.Time
+	events []event
 }
 
 // TraceEntry records one observed signal value change.
@@ -79,14 +95,29 @@ type TraceEntry struct {
 	Value val.Value
 }
 
-// Engine is the discrete-event simulation kernel.
+// Engine is the discrete-event simulation kernel. The queue is two-level:
+// a binary heap orders only the distinct future time instants, and each
+// instant owns an append-only bucket of its events. Same-instant
+// scheduling is therefore O(1) (one map lookup + append) instead of a heap
+// push per event.
 type Engine struct {
 	Now ir.Time
 
 	signals []*Signal
-	procs   []*procEntry
-	queue   eventHeap
-	seq     int
+	byName  map[string]*Signal // lazy name index for SignalByName
+	procs   []procEntry
+
+	slots    map[ir.Time]*timeSlot // instant -> pending bucket
+	lastSlot *timeSlot             // one-entry cache for same-instant bursts
+	heap     []*timeSlot           // min-heap on slot time
+	slotPool []*timeSlot           // retired slots for reuse
+	pending  int                   // scheduled-but-unapplied events
+
+	// Per-step scratch, reused across steps. stamp is the generation
+	// counter that replaces per-step changed/woken maps.
+	stamp          uint64
+	changedScratch []*Signal
+	wakeScratch    []ProcID
 
 	// Trace collects signal changes when Tracing is true.
 	Tracing bool
@@ -102,14 +133,13 @@ type Engine struct {
 	Display func(s string)
 
 	err        error
-	wokenThis  map[*procEntry]bool
 	DeltaCount int // executed delta steps, for statistics
 	EventCount int // applied events, for statistics
 }
 
 // New returns an empty engine.
 func New() *Engine {
-	e := &Engine{wokenThis: map[*procEntry]bool{}}
+	e := &Engine{slots: map[ir.Time]*timeSlot{}}
 	e.OnAssert = func(string, ir.Time) { e.Failures++ }
 	return e
 }
@@ -130,70 +160,75 @@ func (e *Engine) fail(err error) {
 func (e *Engine) NewSignal(name string, ty *ir.Type, init val.Value) *Signal {
 	s := &Signal{ID: len(e.signals), Name: name, Type: ty, value: init.Clone()}
 	e.signals = append(e.signals, s)
+	if e.byName != nil {
+		if _, dup := e.byName[name]; !dup {
+			e.byName[name] = s
+		}
+	}
 	return s
 }
 
 // Signals returns all elaborated signals in creation order.
 func (e *Engine) Signals() []*Signal { return e.signals }
 
-// SignalByName finds a signal by hierarchical name, or nil.
+// SignalByName finds a signal by hierarchical name, or nil. The name index
+// is built lazily on first use; duplicated names resolve to the first
+// signal registered under them, matching the previous linear scan.
 func (e *Engine) SignalByName(name string) *Signal {
-	for _, s := range e.signals {
-		if s.Name == name {
-			return s
+	if e.byName == nil {
+		e.byName = make(map[string]*Signal, len(e.signals))
+		for _, s := range e.signals {
+			if _, dup := e.byName[s.Name]; !dup {
+				e.byName[s.Name] = s
+			}
 		}
 	}
-	return nil
+	return e.byName[name]
 }
 
-// AddProcess registers a simulation actor. Entities pass oneShot=false to
-// keep their sensitivity permanently armed.
-func (e *Engine) AddProcess(p Process, oneShot bool) {
-	e.procs = append(e.procs, &procEntry{proc: p, oneShot: oneShot})
+// AddProcess registers a simulation actor and hands it its ProcID.
+// Entities pass oneShot=false to keep their sensitivity permanently armed.
+func (e *Engine) AddProcess(p Process, oneShot bool) ProcID {
+	id := ProcID(len(e.procs))
+	e.procs = append(e.procs, procEntry{proc: p, oneShot: oneShot})
+	p.SetProcID(id)
+	return id
 }
 
-// Sensitize subscribes the most recently registered process... (internal
-// helper for elaborate; see Subscribe).
-func (e *Engine) entryFor(p Process) *procEntry {
-	for _, pe := range e.procs {
-		if pe.proc == p {
-			return pe
-		}
+func (e *Engine) entryAt(id ProcID, op string) *procEntry {
+	if id < 0 || int(id) >= len(e.procs) {
+		e.fail(fmt.Errorf("engine: %s with invalid ProcID %d", op, id))
+		return nil
 	}
-	return nil
+	return &e.procs[id]
 }
 
 // Subscribe arms the process's sensitivity on the given signals. For
 // one-shot processes the subscription is consumed by the next wake.
-func (e *Engine) Subscribe(p Process, refs []SigRef) {
-	pe := e.entryFor(p)
+func (e *Engine) Subscribe(id ProcID, refs []SigRef) {
+	pe := e.entryAt(id, "Subscribe")
 	if pe == nil {
-		e.fail(fmt.Errorf("engine: Subscribe on unregistered process %s", p.Name()))
 		return
 	}
 	pe.gen++
 	for _, r := range refs {
-		r.Sig.subscribers = append(r.Sig.subscribers, pe)
+		r.Sig.subscribers = append(r.Sig.subscribers, id)
 		pe.subscribedTo = append(pe.subscribedTo, r.Sig)
 	}
 }
 
-// ScheduleWake schedules a timeout wake for p after the given delay.
-func (e *Engine) ScheduleWake(p Process, delay ir.Time) {
-	pe := e.entryFor(p)
+// ScheduleWake schedules a timeout wake for the process after the delay.
+func (e *Engine) ScheduleWake(id ProcID, delay ir.Time) {
+	pe := e.entryAt(id, "ScheduleWake")
 	if pe == nil {
-		e.fail(fmt.Errorf("engine: ScheduleWake on unregistered process %s", p.Name()))
 		return
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{
-		time: e.Now.Add(delay), seq: e.seq, isWake: true, entry: pe, gen: pe.gen,
-	})
+	e.schedule(e.Now.Add(delay), event{isWake: true, proc: id, gen: pe.gen})
 }
 
 // Halt permanently retires the process.
-func (e *Engine) Halt(p Process) {
-	if pe := e.entryFor(p); pe != nil {
+func (e *Engine) Halt(id ProcID) {
+	if pe := e.entryAt(id, "Halt"); pe != nil {
 		pe.halted = true
 	}
 }
@@ -206,89 +241,194 @@ func (e *Engine) Drive(r SigRef, v val.Value, delay ir.Time) {
 	if delay.IsZero() {
 		t = e.Now.Add(ir.Time{Delta: 1})
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{time: t, seq: e.seq, ref: r, value: v.Clone()})
+	// Defensive copy only for kinds with shared backing storage; scalar
+	// ints and times are value types already.
+	if v.Kind == val.KindLogic || v.Kind == val.KindAgg {
+		v = v.Clone()
+	}
+	e.schedule(t, event{ref: r, value: v})
+}
+
+// schedule appends the event to its instant's bucket, creating (or
+// recycling) the bucket if this is the first event at that instant.
+func (e *Engine) schedule(t ir.Time, ev event) {
+	if s := e.lastSlot; s != nil && s.time == t {
+		s.events = append(s.events, ev)
+		e.pending++
+		return
+	}
+	s, ok := e.slots[t]
+	if !ok {
+		if n := len(e.slotPool); n > 0 {
+			s = e.slotPool[n-1]
+			e.slotPool = e.slotPool[:n-1]
+		} else {
+			s = &timeSlot{}
+		}
+		s.time = t
+		e.slots[t] = s
+		e.heapPush(s)
+	}
+	s.events = append(s.events, ev)
+	e.lastSlot = s
+	e.pending++
+}
+
+func (e *Engine) releaseSlot(s *timeSlot) {
+	clear(s.events) // drop value references so the pool retains no data
+	s.events = s.events[:0]
+	e.slotPool = append(e.slotPool, s)
+}
+
+// heapPush and heapPop maintain the min-heap of time slots without the
+// interface indirection of container/heap.
+func (e *Engine) heapPush(s *timeSlot) {
+	h := append(e.heap, s)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].time.Compare(h[i].time) <= 0 {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPop() *timeSlot {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].time.Compare(h[small].time) < 0 {
+			small = l
+		}
+		if r < n && h[r].time.Compare(h[small].time) < 0 {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	e.heap = h
+	return top
 }
 
 // Step advances the engine by one time instant (one (fs, delta, eps)
 // point), applying all events scheduled for it and waking sensitive
 // processes. It reports whether any work remains.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 || e.err != nil {
+	if len(e.heap) == 0 || e.err != nil {
 		return false
 	}
-	now := e.queue[0].time
+	slot := e.heapPop()
+	delete(e.slots, slot.time)
+	if e.lastSlot == slot {
+		e.lastSlot = nil
+	}
+	now := slot.time
 	e.Now = now
 	e.DeltaCount++
+	e.stamp++
 
-	changed := map[*Signal]bool{}
-	var wakes []*event
-	for len(e.queue) > 0 && e.queue[0].time.Compare(now) == 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	// Apply drives in schedule order; wake events are handled below.
+	changed := e.changedScratch[:0]
+	for i := range slot.events {
+		ev := &slot.events[i]
 		e.EventCount++
+		e.pending--
 		if ev.isWake {
-			wakes = append(wakes, ev)
 			continue
 		}
 		newWhole, err := inject(ev.ref.Sig.value, ev.value, ev.ref.Path)
 		if err != nil {
 			e.fail(fmt.Errorf("drive %s: %w", ev.ref.Sig.Name, err))
+			e.pending -= len(slot.events) - i - 1 // discarded with the slot
+			e.changedScratch = changed
+			e.releaseSlot(slot)
 			return false
 		}
 		if !newWhole.Eq(ev.ref.Sig.value) {
-			ev.ref.Sig.value = newWhole
-			changed[ev.ref.Sig] = true
+			sig := ev.ref.Sig
+			sig.value = newWhole
+			if sig.changeStamp != e.stamp {
+				sig.changeStamp = e.stamp
+				changed = append(changed, sig)
+			}
 			if e.Tracing {
-				e.Trace = append(e.Trace, TraceEntry{Time: now, Sig: ev.ref.Sig, Value: newWhole.Clone()})
+				e.Trace = append(e.Trace, TraceEntry{Time: now, Sig: sig, Value: newWhole.Clone()})
 			}
 		}
 	}
+	// Deterministic wake order: sensitivity hits in signal-ID order first,
+	// then timeouts in schedule order. Typical instants change a handful
+	// of signals, where an in-place insertion sort is cheapest; wide
+	// instants fall back to slices.SortFunc to stay out of O(n^2).
+	if len(changed) <= 32 {
+		for i := 1; i < len(changed); i++ {
+			for j := i; j > 0 && changed[j-1].ID > changed[j].ID; j-- {
+				changed[j-1], changed[j] = changed[j], changed[j-1]
+			}
+		}
+	} else {
+		slices.SortFunc(changed, func(a, b *Signal) int { return a.ID - b.ID })
+	}
+	e.changedScratch = changed
 
-	// Collect processes to wake: sensitivity hits first, then timeouts.
-	clear(e.wokenThis)
-	var toWake []*procEntry
-	sigs := make([]*Signal, 0, len(changed))
-	for s := range changed {
-		sigs = append(sigs, s)
-	}
-	sort.Slice(sigs, func(i, j int) bool { return sigs[i].ID < sigs[j].ID })
-	for _, s := range sigs {
-		subs := s.subscribers
-		for _, pe := range subs {
-			if !pe.halted && !e.wokenThis[pe] {
-				e.wokenThis[pe] = true
-				toWake = append(toWake, pe)
+	toWake := e.wakeScratch[:0]
+	for _, sig := range changed {
+		for _, id := range sig.subscribers {
+			pe := &e.procs[id]
+			if !pe.halted && pe.wakeStamp != e.stamp {
+				pe.wakeStamp = e.stamp
+				toWake = append(toWake, id)
 			}
 		}
 	}
-	for _, ev := range wakes {
-		pe := ev.entry
-		if pe.halted || ev.gen != pe.gen || e.wokenThis[pe] {
+	for i := range slot.events {
+		ev := &slot.events[i]
+		if !ev.isWake {
+			continue
+		}
+		pe := &e.procs[ev.proc]
+		if pe.halted || ev.gen != pe.gen || pe.wakeStamp == e.stamp {
 			continue // stale timeout: the process re-armed since
 		}
-		e.wokenThis[pe] = true
-		toWake = append(toWake, pe)
+		pe.wakeStamp = e.stamp
+		toWake = append(toWake, ev.proc)
 	}
+	e.wakeScratch = toWake
+	e.releaseSlot(slot)
 
-	for _, pe := range toWake {
+	for _, id := range toWake {
+		pe := &e.procs[id]
 		if pe.oneShot {
 			// Consume the subscription: drop this entry from all signals.
 			pe.gen++
-			e.unsubscribe(pe)
+			e.unsubscribe(pe, id)
 		}
 		pe.proc.Wake(e)
 		if e.err != nil {
 			return false
 		}
 	}
-	return len(e.queue) > 0
+	return len(e.heap) > 0
 }
 
-func (e *Engine) unsubscribe(pe *procEntry) {
+func (e *Engine) unsubscribe(pe *procEntry, id ProcID) {
 	for _, s := range pe.subscribedTo {
 		out := s.subscribers[:0]
 		for _, sub := range s.subscribers {
-			if sub != pe {
+			if sub != id {
 				out = append(out, sub)
 			}
 		}
@@ -300,8 +440,8 @@ func (e *Engine) unsubscribe(pe *procEntry) {
 // Init runs every registered process once, in registration order, at time
 // zero. Call it exactly once before Run or Step.
 func (e *Engine) Init() {
-	for _, pe := range e.procs {
-		pe.proc.Init(e)
+	for i := range e.procs {
+		e.procs[i].proc.Init(e)
 		if e.err != nil {
 			return
 		}
@@ -310,21 +450,18 @@ func (e *Engine) Init() {
 
 // Run simulates until the event queue drains or physical time exceeds
 // limit (limit.Fs == 0 means no limit). It returns the number of time
-// instants executed.
+// instants executed: each counts exactly once, including the final one.
 func (e *Engine) Run(limit ir.Time) int {
 	steps := 0
-	for len(e.queue) > 0 && e.err == nil {
-		if limit.Fs > 0 && e.queue[0].time.Fs > limit.Fs {
+	for len(e.heap) > 0 && e.err == nil {
+		if limit.Fs > 0 && e.heap[0].time.Fs > limit.Fs {
 			break
 		}
-		if !e.Step() && len(e.queue) == 0 {
-			steps++
-			break
-		}
+		e.Step()
 		steps++
 	}
 	return steps
 }
 
 // PendingEvents reports the number of scheduled events.
-func (e *Engine) PendingEvents() int { return len(e.queue) }
+func (e *Engine) PendingEvents() int { return e.pending }

@@ -9,6 +9,7 @@ import (
 
 // probe is a minimal Process recording its wake times.
 type probeProc struct {
+	ProcHandle
 	name  string
 	onIni func(e *Engine, p *probeProc)
 	onWak func(e *Engine, p *probeProc)
@@ -35,7 +36,7 @@ func TestDriveAndDeltaOrdering(t *testing.T) {
 
 	w := &probeProc{name: "w"}
 	w.onIni = func(e *Engine, p *probeProc) {
-		e.Subscribe(p, []SigRef{ref})
+		e.Subscribe(p.ProcID(), []SigRef{ref})
 		// Zero-delay drive lands in the next delta, not instantly.
 		e.Drive(ref, val.Int(8, 5), ir.Time{})
 		if s.Value().Bits != 0 {
@@ -62,7 +63,7 @@ func TestNoWakeOnUnchangedValue(t *testing.T) {
 	ref := SigRef{Sig: s}
 	w := &probeProc{name: "w"}
 	w.onIni = func(e *Engine, p *probeProc) {
-		e.Subscribe(p, []SigRef{ref})
+		e.Subscribe(p.ProcID(), []SigRef{ref})
 		e.Drive(ref, val.Int(1, 0), ir.Time{}) // same value: no event
 	}
 	e.AddProcess(w, true)
@@ -77,7 +78,7 @@ func TestTimeoutWake(t *testing.T) {
 	e := New()
 	w := &probeProc{name: "w"}
 	w.onIni = func(e *Engine, p *probeProc) {
-		e.ScheduleWake(p, ir.Nanoseconds(5))
+		e.ScheduleWake(p.ProcID(), ir.Nanoseconds(5))
 	}
 	e.AddProcess(w, true)
 	e.Init()
@@ -95,8 +96,8 @@ func TestStaleTimeoutSuppressed(t *testing.T) {
 	ref := SigRef{Sig: s}
 	w := &probeProc{name: "w"}
 	w.onIni = func(e *Engine, p *probeProc) {
-		e.Subscribe(p, []SigRef{ref})
-		e.ScheduleWake(p, ir.Nanoseconds(10))
+		e.Subscribe(p.ProcID(), []SigRef{ref})
+		e.ScheduleWake(p.ProcID(), ir.Nanoseconds(10))
 	}
 	w.onWak = func(e *Engine, p *probeProc) {
 		// Woken by the signal at 1ns; do not re-arm.
@@ -145,12 +146,12 @@ func TestRunRespectsLimit(t *testing.T) {
 	w := &probeProc{name: "w"}
 	n := 0
 	w.onIni = func(e *Engine, p *probeProc) {
-		e.Subscribe(p, []SigRef{ref})
+		e.Subscribe(p.ProcID(), []SigRef{ref})
 		e.Drive(ref, val.Int(8, 1), ir.Nanoseconds(1))
 	}
 	w.onWak = func(e *Engine, p *probeProc) {
 		n++
-		e.Subscribe(p, []SigRef{ref})
+		e.Subscribe(p.ProcID(), []SigRef{ref})
 		e.Drive(ref, val.Int(8, uint64(n+1)), ir.Nanoseconds(1))
 	}
 	e.AddProcess(w, true)

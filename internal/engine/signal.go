@@ -19,7 +19,10 @@ type Signal struct {
 	Type  *ir.Type
 	value val.Value
 
-	subscribers []*procEntry // processes woken when the value changes
+	subscribers []ProcID // processes woken when the value changes
+	// changeStamp marks the step in which the signal last changed,
+	// deduplicating multi-drive instants without a per-step map.
+	changeStamp uint64
 }
 
 // Value returns the signal's current value.

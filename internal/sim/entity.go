@@ -13,6 +13,7 @@ import (
 // drv, reg, del, and data flow downstream of probes). Per §2.4.3 the body
 // executes once at initialization and again whenever an input changes.
 type entityInterp struct {
+	engine.ProcHandle
 	sim  *Simulator
 	inst *engine.Instance
 
@@ -59,7 +60,7 @@ func (en *entityInterp) Init(e *engine.Engine) {
 			watch(in.Args[1])
 		}
 	}
-	e.Subscribe(en, refs)
+	e.Subscribe(en.ProcID(), refs)
 	en.eval(e, true)
 }
 

@@ -56,6 +56,7 @@ type slot struct {
 
 // procInterp interprets one process instance.
 type procInterp struct {
+	engine.ProcHandle
 	sim  *Simulator
 	inst *engine.Instance
 
@@ -103,7 +104,7 @@ func (p *procInterp) run(e *engine.Engine) {
 	const maxSteps = 100_000_000 // guards against runaway zero-time loops
 	for steps := 0; steps < maxSteps; steps++ {
 		if p.block == nil || p.index >= len(p.block.Insts) {
-			e.Halt(p)
+			e.Halt(p.ProcID())
 			p.halted = true
 			return
 		}
@@ -316,13 +317,13 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 			}
 			refs = append(refs, r)
 		}
-		e.Subscribe(p, refs)
+		e.Subscribe(p.ProcID(), refs)
 		if in.TimeArg != nil {
 			t, err := p.value(in.TimeArg)
 			if err != nil {
 				return false, err
 			}
-			e.ScheduleWake(p, t.T)
+			e.ScheduleWake(p.ProcID(), t.T)
 		}
 		if err := p.jump(in.Dests[0]); err != nil {
 			return false, err
@@ -330,7 +331,7 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		return true, nil
 
 	case ir.OpHalt:
-		e.Halt(p)
+		e.Halt(p.ProcID())
 		p.halted = true
 		return true, nil
 

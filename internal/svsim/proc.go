@@ -14,6 +14,7 @@ import (
 // every wait point via a channel handshake (the classic threaded-simulator
 // architecture of commercial tools).
 type astProc struct {
+	engine.ProcHandle
 	name string
 	sc   *scope
 	blk  *moore.AlwaysBlock
@@ -69,13 +70,13 @@ func (p *astProc) Wake(e *engine.Engine) {
 
 func (p *astProc) handle(y yieldMsg, e *engine.Engine) {
 	if y.halt {
-		e.Halt(p)
+		e.Halt(p.ProcID())
 		p.stopped = true
 		return
 	}
-	e.Subscribe(p, y.refs)
+	e.Subscribe(p.ProcID(), y.refs)
 	if y.timeout != nil {
-		e.ScheduleWake(p, *y.timeout)
+		e.ScheduleWake(p.ProcID(), *y.timeout)
 	}
 }
 
