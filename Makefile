@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test bench bench-kernel
+.PHONY: check build vet test bench bench-kernel bench-table2
 
 # check is the tier-1 verification: the build, go vet, and the full test
 # suite must all pass.
@@ -23,3 +23,9 @@ bench:
 # fan-out, delta cascade); all must report 0 allocs/op at steady state.
 bench-kernel:
 	$(GO) test -bench BenchmarkEngineKernel -benchmem -run xxx ./internal/engine/
+
+# bench-table2 runs the Table 2 benchmark and records the machine-readable
+# trajectory artifact (ns/op and allocs/op per design and engine).
+bench-table2:
+	$(GO) test -bench BenchmarkTable2 -benchmem -run xxx .
+	$(GO) run ./cmd/llhd-bench -table 2 -json BENCH_TABLE2.json

@@ -6,8 +6,13 @@
 //
 // Usage:
 //
-//	llhd-bench           # all tables
-//	llhd-bench -table 2  # one table
+//	llhd-bench                              # all tables
+//	llhd-bench -table 2                     # one table
+//	llhd-bench -table 2 -json results.json  # + machine-readable Table 2
+//
+// The -json flag writes the Table 2 measurements (name, ns/op, allocs/op
+// per engine) as a JSON artifact ("-" for stdout), so benchmark
+// trajectories can be recorded across revisions.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "table to regenerate (2, 3, or 4); 0 = all")
+	jsonPath := flag.String("json", "", "write Table 2 results as JSON to this path (\"-\" = stdout)")
 	flag.Parse()
 
 	if *table == 0 || *table == 2 {
@@ -29,6 +35,13 @@ func main() {
 		}
 		bench.PrintTable2(os.Stdout, rows)
 		fmt.Println()
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *jsonPath != "" {
+		fatal(fmt.Errorf("-json requires Table 2 (use -table 2 or -table 0)"))
 	}
 	if *table == 0 || *table == 3 {
 		bench.PrintTable3(os.Stdout, bench.Table3())
@@ -41,6 +54,21 @@ func main() {
 		}
 		bench.PrintTable4(os.Stdout, rows)
 	}
+}
+
+func writeJSON(path string, rows []bench.Table2Row) error {
+	if path == "-" {
+		return bench.WriteTable2JSON(os.Stdout, rows)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteTable2JSON(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -5,8 +5,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"llhd/internal/assembly"
@@ -19,15 +21,32 @@ import (
 	"llhd/internal/svsim"
 )
 
-// Table2Row is one measured row of Table 2.
+// Table2Row is one measured row of Table 2. The allocation counts cover
+// one full elaborate+simulate run per engine (the same "op" the ns numbers
+// time), so JSON trajectories can track both axes of the hot-path work.
 type Table2Row struct {
-	Design   string
-	LoC      int // lines of SystemVerilog
-	Deltas   int // executed delta steps (design + testbench complexity)
-	InterpS  float64
-	BlazeS   float64
-	SVSimS   float64
-	Failures int
+	Design       string
+	LoC          int // lines of SystemVerilog
+	Deltas       int // executed delta steps (design + testbench complexity)
+	InterpS      float64
+	BlazeS       float64
+	SVSimS       float64
+	InterpAllocs uint64
+	BlazeAllocs  uint64
+	SVSimAllocs  uint64
+	Failures     int
+}
+
+// measure times one elaborate+simulate run and counts its heap
+// allocations via the runtime's cumulative malloc counter.
+func measure(run func() error) (secs float64, allocs uint64, err error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	err = run()
+	d := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return d.Seconds(), m1.Mallocs - m0.Mallocs, err
 }
 
 // RunTable2 measures all designs with the three simulators.
@@ -52,15 +71,19 @@ func RunTable2Design(d designs.Design) (Table2Row, error) {
 	if err != nil {
 		return row, err
 	}
-	t0 := time.Now()
-	si, err := sim.New(m1, d.Top)
+	var si *sim.Simulator
+	secs, allocs, err := measure(func() error {
+		var err error
+		si, err = sim.New(m1, d.Top)
+		if err != nil {
+			return err
+		}
+		return si.Run(ir.Time{})
+	})
 	if err != nil {
 		return row, err
 	}
-	if err := si.Run(ir.Time{}); err != nil {
-		return row, err
-	}
-	row.InterpS = time.Since(t0).Seconds()
+	row.InterpS, row.InterpAllocs = secs, allocs
 	row.Deltas = si.Engine.DeltaCount
 	row.Failures = si.Engine.Failures
 
@@ -69,29 +92,72 @@ func RunTable2Design(d designs.Design) (Table2Row, error) {
 	if err != nil {
 		return row, err
 	}
-	t0 = time.Now()
-	bz, err := blaze.New(m2, d.Top)
+	var bz *blaze.Simulator
+	secs, allocs, err = measure(func() error {
+		var err error
+		bz, err = blaze.New(m2, d.Top)
+		if err != nil {
+			return err
+		}
+		return bz.Run(ir.Time{})
+	})
 	if err != nil {
 		return row, err
 	}
-	if err := bz.Run(ir.Time{}); err != nil {
-		return row, err
-	}
-	row.BlazeS = time.Since(t0).Seconds()
+	row.BlazeS, row.BlazeAllocs = secs, allocs
 	row.Failures += bz.Engine.Failures
 
 	// AST-level simulator (commercial substitute).
-	t0 = time.Now()
-	sv, err := svsim.New(d.Source, d.Top)
+	var sv *svsim.Simulator
+	secs, allocs, err = measure(func() error {
+		var err error
+		sv, err = svsim.New(d.Source, d.Top)
+		if err != nil {
+			return err
+		}
+		return sv.Run(ir.Time{})
+	})
 	if err != nil {
 		return row, err
 	}
-	if err := sv.Run(ir.Time{}); err != nil {
-		return row, err
-	}
-	row.SVSimS = time.Since(t0).Seconds()
+	row.SVSimS, row.SVSimAllocs = secs, allocs
 	row.Failures += sv.Engine.Failures
 	return row, nil
+}
+
+// Table2EngineJSON is one engine's measurement in the JSON emission.
+type Table2EngineJSON struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+// Table2RowJSON is one design's measurements in the JSON emission. The op
+// is one full elaborate+simulate run.
+type Table2RowJSON struct {
+	Name    string                      `json:"name"`
+	Deltas  int                         `json:"deltas"`
+	Engines map[string]Table2EngineJSON `json:"engines"`
+}
+
+// WriteTable2JSON emits the Table 2 measurements as machine-readable JSON
+// (one object per design; ns/op and allocs/op per engine), so benchmark
+// trajectories can be recorded as artifacts instead of prose tables.
+func WriteTable2JSON(w io.Writer, rows []Table2Row) error {
+	out := make([]Table2RowJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Table2RowJSON{
+			Name:   r.Design,
+			Deltas: r.Deltas,
+			Engines: map[string]Table2EngineJSON{
+				"Int":   {NsPerOp: r.InterpS * 1e9, AllocsPerOp: r.InterpAllocs},
+				"Blaze": {NsPerOp: r.BlazeS * 1e9, AllocsPerOp: r.BlazeAllocs},
+				"SVSim": {NsPerOp: r.SVSimS * 1e9, AllocsPerOp: r.SVSimAllocs},
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // PrintTable2 renders rows in the paper's format.

@@ -10,51 +10,84 @@ import (
 )
 
 // compiler builds the slot assignment and closures for one unit instance.
+// Values are identified by the unit's shared dense value IDs (ir.Numbering
+// — the same scheme the reference interpreter indexes its frames with);
+// the former private slotOf/sigOf hash maps are dense vid-indexed side
+// tables. Register slots stay compacted to first-use order so the register
+// file only holds values the compiled code actually touches.
 type compiler struct {
 	sim  *Simulator
 	inst *engine.Instance
 	unit *ir.Unit
+	num  *ir.Numbering
 
-	slotOf map[ir.Value]int  // value -> register slot
-	sigOf  map[ir.Value]int  // value -> signal slot (SigRef table)
-	consts map[int]val.Value // slot -> precomputed constant
-	blocks map[*ir.Block]int // block -> code index
-	sigs   []engine.SigRef
-	nregs  int
+	slotIdx []int       // value ID -> register slot, -1 until first use
+	sigIdx  []int       // value ID -> signal slot (SigRef table), -1 unresolved
+	consts  []constSlot // compile-time constants to pre-place in the registers
+	nregs   int
+	blocks  map[*ir.Block]int // block -> code index
+	sigs    []engine.SigRef
 
 	probed []engine.SigRef // entity sensitivity
 	pseen  map[*engine.Signal]bool
 }
 
-// compileInstance builds a compiled process for a proc or entity instance.
-func (s *Simulator) compileInstance(inst *engine.Instance) (engine.Process, error) {
-	c := &compiler{
-		sim:    s,
-		inst:   inst,
-		unit:   inst.Unit,
-		slotOf: map[ir.Value]int{},
-		sigOf:  map[ir.Value]int{},
-		consts: map[int]val.Value{},
-		blocks: map[*ir.Block]int{},
-		pseen:  map[*engine.Signal]bool{},
-	}
-	return c.compile()
+// constSlot is one pre-placed register constant.
+type constSlot struct {
+	slot int
+	v    val.Value
 }
 
-func (c *compiler) slot(v ir.Value) int {
-	if i, ok := c.slotOf[v]; ok {
-		return i
+// newCompiler builds a compiler for one unit instance over its numbering.
+func newCompiler(s *Simulator, inst *engine.Instance) *compiler {
+	num := inst.Numbering()
+	n := num.Len()
+	c := &compiler{
+		sim:     s,
+		inst:    inst,
+		unit:    inst.Unit,
+		num:     num,
+		slotIdx: make([]int, n),
+		sigIdx:  make([]int, n),
+		blocks:  map[*ir.Block]int{},
+		pseen:   map[*engine.Signal]bool{},
 	}
-	i := c.nregs
+	for i := range c.slotIdx {
+		c.slotIdx[i] = -1
+		c.sigIdx[i] = -1
+	}
+	return c
+}
+
+// compileInstance builds a compiled process for a proc or entity instance.
+func (s *Simulator) compileInstance(inst *engine.Instance) (engine.Process, error) {
+	return newCompiler(s, inst).compile()
+}
+
+// slot returns the register slot of v, assigning the next compact slot on
+// first use. Identification is by shared value ID: a plain array read.
+func (c *compiler) slot(v ir.Value) int {
+	id := ir.ValueID(v)
+	if id < 0 {
+		panic(fmt.Sprintf("blaze: operand %s has no value ID in @%s", v, c.unit.Name))
+	}
+	if s := c.slotIdx[id]; s >= 0 {
+		return s
+	}
+	s := c.nregs
 	c.nregs++
-	c.slotOf[v] = i
-	return i
+	c.slotIdx[id] = s
+	return s
 }
 
 // sigSlot resolves a statically-known signal reference to a slot in the
 // SigRef table, following extf/exts projections.
 func (c *compiler) sigSlot(v ir.Value) (int, error) {
-	if i, ok := c.sigOf[v]; ok {
+	id := ir.ValueID(v)
+	if id < 0 {
+		return 0, fmt.Errorf("value %s is not a signal", v)
+	}
+	if i := c.sigIdx[id]; i >= 0 {
 		return i, nil
 	}
 	ref, err := c.resolveSig(v)
@@ -63,12 +96,12 @@ func (c *compiler) sigSlot(v ir.Value) (int, error) {
 	}
 	i := len(c.sigs)
 	c.sigs = append(c.sigs, ref)
-	c.sigOf[v] = i
+	c.sigIdx[id] = i
 	return i, nil
 }
 
 func (c *compiler) resolveSig(v ir.Value) (engine.SigRef, error) {
-	if r, ok := c.inst.Bind[v]; ok {
+	if r, ok := c.inst.BindOf(v); ok {
 		return r, nil
 	}
 	in, ok := v.(*ir.Inst)
@@ -109,8 +142,11 @@ func (c *compiler) compile() (*proc, error) {
 		c.blocks[b] = i
 	}
 	// Pre-seed constants known from elaboration.
-	for v, cv := range c.inst.Consts {
-		c.consts[c.slot(v)] = cv
+	consts, isConst := c.inst.ConstTable()
+	for id, ok := range isConst {
+		if ok {
+			c.consts = append(c.consts, constSlot{slot: c.slot(c.num.Value(id)), v: consts[id]})
+		}
 	}
 
 	for _, b := range c.unit.Blocks {
@@ -121,8 +157,8 @@ func (c *compiler) compile() (*proc, error) {
 		p.code = append(p.code, bc)
 	}
 	p.regs = make([]val.Value, c.nregs)
-	for slot, cv := range c.consts {
-		p.regs[slot] = cv
+	for _, cs := range c.consts {
+		p.regs[cs.slot] = cs.v
 	}
 	p.sigs = c.sigs
 	if p.entity {
@@ -214,7 +250,7 @@ func (c *compiler) constOperand(v ir.Value) (val.Value, bool) {
 			return val.TimeVal(in.TVal), true
 		}
 	}
-	if cv, ok := c.inst.Consts[v]; ok {
+	if cv, ok := c.inst.ConstOf(v); ok {
 		return cv, true
 	}
 	return val.Value{}, false
@@ -304,7 +340,7 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 	switch in.Op {
 	case ir.OpConstInt, ir.OpConstTime:
 		cv, _ := c.constOperand(in)
-		c.consts[c.slot(in)] = cv
+		c.consts = append(c.consts, constSlot{slot: c.slot(in), v: cv})
 		return nil, nil
 
 	case ir.OpPhi:
@@ -766,13 +802,39 @@ func (c *compiler) compileReg(in *ir.Inst) (step, error) {
 
 // compiledFunc is a compiled function unit.
 type compiledFunc struct {
-	name       string
-	code       []blockCode
-	nregs      int
-	args       []int // arg slots
-	hasRet     bool
-	constSlots map[int]val.Value
+	name      string
+	code      []blockCode
+	nregs     int
+	args      []int // arg slots
+	hasRet    bool
+	constRegs []val.Value // register-file template: constants pre-placed
+	free      []*proc     // pooled call frames; recursion pops deeper ones
 }
+
+// acquire returns a call frame with the register file reset from the
+// constant template (non-constant slots read as zero values, exactly like a
+// freshly allocated file).
+func (cf *compiledFunc) acquire(s *Simulator) *proc {
+	if n := len(cf.free); n > 0 {
+		frame := cf.free[n-1]
+		cf.free = cf.free[:n-1]
+		copy(frame.regs, cf.constRegs)
+		frame.cur = 0
+		frame.retVal = val.Value{}
+		return frame
+	}
+	frame := &proc{
+		name: cf.name,
+		code: cf.code,
+		regs: make([]val.Value, cf.nregs),
+		sim:  s,
+	}
+	copy(frame.regs, cf.constRegs)
+	return frame
+}
+
+// release returns a call frame to the pool.
+func (cf *compiledFunc) release(frame *proc) { cf.free = append(cf.free, frame) }
 
 // compileCall dispatches intrinsics and function calls.
 func (c *compiler) compileCall(in *ir.Inst) (step, error) {
@@ -846,16 +908,7 @@ func (s *Simulator) compileFunc(name string) (*compiledFunc, error) {
 	cf := &compiledFunc{name: name, hasRet: !fn.RetType.IsVoid()}
 	s.funcs[name] = cf // pre-register to tolerate recursion
 
-	fc := &compiler{
-		sim:    s,
-		inst:   &engine.Instance{Unit: fn, Bind: map[ir.Value]engine.SigRef{}, Consts: map[ir.Value]val.Value{}},
-		unit:   fn,
-		slotOf: map[ir.Value]int{},
-		sigOf:  map[ir.Value]int{},
-		consts: map[int]val.Value{},
-		blocks: map[*ir.Block]int{},
-		pseen:  map[*engine.Signal]bool{},
-	}
+	fc := newCompiler(s, engine.NewInstance(fn, name))
 	for i, b := range fn.Blocks {
 		fc.blocks[b] = i
 	}
@@ -870,8 +923,12 @@ func (s *Simulator) compileFunc(name string) (*compiledFunc, error) {
 		cf.code = append(cf.code, bc)
 	}
 	cf.nregs = fc.nregs
-	// Bake elaborated constants into a template register file.
-	cf.constSlots = fc.consts
+	// Bake compiled constants into a register-file template; it is built
+	// once per function and amortized across all pooled call frames.
+	cf.constRegs = make([]val.Value, fc.nregs)
+	for _, cs := range fc.consts {
+		cf.constRegs[cs.slot] = cs.v
+	}
 	return cf, nil
 }
 
@@ -911,17 +968,10 @@ func (c *compiler) compileFuncBlock(b *ir.Block) (blockCode, error) {
 	return bc, fmt.Errorf("block %s lacks a terminator", b)
 }
 
-// invoke runs a compiled function with a fresh register frame.
+// invoke runs a compiled function on a pooled register frame.
 func (cf *compiledFunc) invoke(s *Simulator, e *engine.Engine, fetch []func(p *proc) val.Value, caller *proc) (val.Value, error) {
-	frame := &proc{
-		name: cf.name,
-		code: cf.code,
-		regs: make([]val.Value, cf.nregs),
-		sim:  s,
-	}
-	for slot, cv := range cf.constSlots {
-		frame.regs[slot] = cv
-	}
+	frame := cf.acquire(s)
+	defer cf.release(frame)
 	for i, as := range cf.args {
 		frame.regs[as] = fetch[i](caller)
 	}

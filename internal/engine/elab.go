@@ -10,15 +10,116 @@ import (
 // Instance describes one elaborated occurrence of a unit: its hierarchical
 // name, the binding of signal-typed IR values to elaborated nets, and the
 // constants the elaborator could evaluate ahead of time.
+//
+// Both tables are dense, indexed by the unit's ir.Numbering, so execution
+// engines can seed flat frames with a copy instead of hashing interface
+// keys. The map forms survive only behind the Bind and Consts
+// compatibility accessors; all in-tree engines use the dense tables.
 type Instance struct {
 	Unit *ir.Unit
 	Name string
-	// Bind maps signal-typed IR values (arguments, sig results, signal
-	// projections) to elaborated signal references.
-	Bind map[ir.Value]SigRef
-	// Consts maps pure instructions whose operands were all known at
-	// elaboration time to their values.
-	Consts map[ir.Value]val.Value
+
+	num *ir.Numbering
+	// binds[id] is the elaborated signal reference of the value numbered id
+	// (arguments, sig results, signal projections); valid iff bound[id].
+	// Allocated on first SetBind (function instances bind nothing).
+	binds []SigRef
+	bound []bool
+	// consts[id] is the elaboration-time value of the pure instruction
+	// numbered id; valid iff isConst[id]. Allocated on first SetConst (the
+	// elaborator only folds constants in entities, so process and function
+	// instances never pay for the table).
+	consts  []val.Value
+	isConst []bool
+}
+
+// NewInstance creates an empty instance of the unit. The bind and const
+// tables materialize lazily on first write.
+func NewInstance(u *ir.Unit, name string) *Instance {
+	return &Instance{Unit: u, Name: name, num: u.Numbering()}
+}
+
+// Numbering returns the value numbering the instance tables are indexed by.
+func (inst *Instance) Numbering() *ir.Numbering { return inst.num }
+
+// SetBind records the elaborated signal reference of v. Values that are not
+// numbered in the unit are ignored.
+func (inst *Instance) SetBind(v ir.Value, r SigRef) {
+	if id := ir.ValueID(v); id >= 0 && id < inst.num.Len() {
+		if inst.binds == nil {
+			inst.binds = make([]SigRef, inst.num.Len())
+			inst.bound = make([]bool, inst.num.Len())
+		}
+		inst.binds[id] = r
+		inst.bound[id] = true
+	}
+}
+
+// BindOf resolves v to its elaborated signal reference.
+func (inst *Instance) BindOf(v ir.Value) (SigRef, bool) {
+	if id := ir.ValueID(v); id >= 0 && id < len(inst.binds) && inst.bound[id] {
+		return inst.binds[id], true
+	}
+	return SigRef{}, false
+}
+
+// SetConst records the elaboration-time value of v.
+func (inst *Instance) SetConst(v ir.Value, c val.Value) {
+	if id := ir.ValueID(v); id >= 0 && id < inst.num.Len() {
+		if inst.consts == nil {
+			inst.consts = make([]val.Value, inst.num.Len())
+			inst.isConst = make([]bool, inst.num.Len())
+		}
+		inst.consts[id] = c
+		inst.isConst[id] = true
+	}
+}
+
+// ConstOf resolves v to its elaboration-time constant value.
+func (inst *Instance) ConstOf(v ir.Value) (val.Value, bool) {
+	if id := ir.ValueID(v); id >= 0 && id < len(inst.consts) && inst.isConst[id] {
+		return inst.consts[id], true
+	}
+	return val.Value{}, false
+}
+
+// BindTable exposes the dense bind table (indexed by value ID) for engines
+// that seed flat frames. Both slices are nil when nothing was bound.
+// Callers must treat them as read-only.
+func (inst *Instance) BindTable() (refs []SigRef, bound []bool) {
+	return inst.binds, inst.bound
+}
+
+// ConstTable exposes the dense constant table (indexed by value ID) for
+// engines that seed flat frames. Both slices are nil when nothing was
+// folded. Callers must treat them as read-only.
+func (inst *Instance) ConstTable() (vals []val.Value, set []bool) {
+	return inst.consts, inst.isConst
+}
+
+// Bind materializes the signal bindings as a map. It is a compatibility
+// view kept for debugging and for tooling that wants the old map shape; no
+// execution path uses it. The returned map is a fresh copy, not a view.
+func (inst *Instance) Bind() map[ir.Value]SigRef {
+	m := make(map[ir.Value]SigRef)
+	for id, ok := range inst.bound {
+		if ok {
+			m[inst.num.Value(id)] = inst.binds[id]
+		}
+	}
+	return m
+}
+
+// Consts materializes the elaboration-time constants as a map. Like Bind,
+// it is a compatibility accessor returning a fresh copy.
+func (inst *Instance) Consts() map[ir.Value]val.Value {
+	m := make(map[ir.Value]val.Value)
+	for id, ok := range inst.isConst {
+		if ok {
+			m[inst.num.Value(id)] = inst.consts[id]
+		}
+	}
+	return m
 }
 
 // ProcFactory builds a simulation actor for a unit instance. The reference
@@ -60,17 +161,12 @@ func (el *elaborator) instantiate(u *ir.Unit, name string, ins, outs []SigRef) e
 		return fmt.Errorf("engine: @%s instantiated with %d->%d signals, want %d->%d",
 			u.Name, len(ins), len(outs), len(u.Inputs), len(u.Outputs))
 	}
-	inst := &Instance{
-		Unit:   u,
-		Name:   name,
-		Bind:   map[ir.Value]SigRef{},
-		Consts: map[ir.Value]val.Value{},
-	}
+	inst := NewInstance(u, name)
 	for i, a := range u.Inputs {
-		inst.Bind[a] = ins[i]
+		inst.SetBind(a, ins[i])
 	}
 	for i, a := range u.Outputs {
-		inst.Bind[a] = outs[i]
+		inst.SetBind(a, outs[i])
 	}
 
 	switch u.Kind {
@@ -97,7 +193,7 @@ func (el *elaborator) entity(inst *Instance) error {
 	for _, in := range u.Body().Insts {
 		switch in.Op {
 		case ir.OpSig:
-			init, ok := inst.Consts[in.Args[0]]
+			init, ok := inst.ConstOf(in.Args[0])
 			if !ok {
 				return fmt.Errorf("engine: %s: sig initializer %s is not elaboration-time constant",
 					inst.Name, in.Args[0])
@@ -107,7 +203,7 @@ func (el *elaborator) entity(inst *Instance) error {
 				sigName = fmt.Sprintf("%s.sig%d", inst.Name, len(el.e.signals))
 			}
 			s := el.e.NewSignal(sigName, in.Type().Elem, init)
-			inst.Bind[in] = SigRef{Sig: s}
+			inst.SetBind(in, SigRef{Sig: s})
 
 		case ir.OpInst:
 			callee := el.m.Unit(in.Callee)
@@ -116,14 +212,14 @@ func (el *elaborator) entity(inst *Instance) error {
 			}
 			var ins, outs []SigRef
 			for _, a := range in.Args[:in.NumIns] {
-				r, ok := inst.Bind[a]
+				r, ok := inst.BindOf(a)
 				if !ok {
 					return fmt.Errorf("engine: %s: inst @%s input %s is not a bound signal", inst.Name, in.Callee, a)
 				}
 				ins = append(ins, r)
 			}
 			for _, a := range in.Args[in.NumIns:] {
-				r, ok := inst.Bind[a]
+				r, ok := inst.BindOf(a)
 				if !ok {
 					return fmt.Errorf("engine: %s: inst @%s output %s is not a bound signal", inst.Name, in.Callee, a)
 				}
@@ -136,8 +232,8 @@ func (el *elaborator) entity(inst *Instance) error {
 			}
 
 		case ir.OpExtF:
-			if r, ok := inst.Bind[in.Args[0]]; ok {
-				inst.Bind[in] = r.Extend(Proj{Kind: ProjField, A: in.Imm0})
+			if r, ok := inst.BindOf(in.Args[0]); ok {
+				inst.SetBind(in, r.Extend(Proj{Kind: ProjField, A: in.Imm0}))
 				continue
 			}
 			if el.tryConst(inst, in) {
@@ -146,8 +242,8 @@ func (el *elaborator) entity(inst *Instance) error {
 			reactive++
 
 		case ir.OpExtS:
-			if r, ok := inst.Bind[in.Args[0]]; ok {
-				inst.Bind[in] = r.Extend(Proj{Kind: ProjSlice, A: in.Imm0, B: in.Imm1})
+			if r, ok := inst.BindOf(in.Args[0]); ok {
+				inst.SetBind(in, r.Extend(Proj{Kind: ProjSlice, A: in.Imm0, B: in.Imm1}))
 				continue
 			}
 			if el.tryConst(inst, in) {
@@ -156,8 +252,8 @@ func (el *elaborator) entity(inst *Instance) error {
 			reactive++
 
 		case ir.OpCon:
-			a, aok := inst.Bind[in.Args[0]]
-			b, bok := inst.Bind[in.Args[1]]
+			a, aok := inst.BindOf(in.Args[0])
+			b, bok := inst.BindOf(in.Args[1])
 			if !aok || !bok {
 				return fmt.Errorf("engine: %s: con needs two bound signals", inst.Name)
 			}
@@ -184,16 +280,13 @@ func (el *elaborator) entity(inst *Instance) error {
 }
 
 // tryConst evaluates a pure instruction whose operands are all known
-// constants, recording the result in inst.Consts.
+// constants, recording the result in the instance's constant table.
 func (el *elaborator) tryConst(inst *Instance, in *ir.Inst) bool {
-	v, err := EvalPure(in, func(x ir.Value) (val.Value, bool) {
-		v, ok := inst.Consts[x]
-		return v, ok
-	})
+	v, err := EvalPure(in, inst.ConstOf)
 	if err != nil {
 		return false
 	}
-	inst.Consts[in] = v
+	inst.SetConst(in, v)
 	return true
 }
 

@@ -282,6 +282,7 @@ type Inst struct {
 	Triggers []RegTrigger // reg clauses
 
 	block *Block
+	vid   int32 // dense value ID + 1 under the unit's Numbering; 0 = unnumbered
 }
 
 // Type returns the result type of the instruction.

@@ -1,0 +1,118 @@
+package ir
+
+// Numbering is the dense per-unit value numbering: every value defined in a
+// unit (its arguments and every instruction result) gets a stable small
+// integer in [0, Len()). Execution engines index flat frames and register
+// files by these IDs instead of hashing interface keys, and because the
+// numbering is shared, the interpreter (internal/sim) and the compiler
+// (internal/blaze) agree on one value-ID scheme.
+//
+// The order is deterministic: inputs, then outputs, then instructions in
+// block order. The numbering is computed once per unit and cached. The
+// mutation API (Append/Remove/Adopt/AddBlock/AddInput/...) invalidates the
+// cache eagerly, and because passes may also splice instruction slices
+// directly, Numbering() additionally re-validates the cached numbering
+// against the unit's current shape before handing it out — a stale cache
+// can never silently mis-index a frame. IDs read via ValueID are only
+// meaningful against the unit's current Numbering.
+type Numbering struct {
+	unit   *Unit
+	values []Value // id -> value
+}
+
+// Numbering returns the unit's cached dense value numbering, computing it
+// on first use and recomputing it if the unit was mutated since (even by
+// direct slice manipulation that bypassed the invalidation hooks).
+func (u *Unit) Numbering() *Numbering {
+	if u.numbering == nil || !u.numbering.valid() {
+		u.numbering = computeNumbering(u)
+	}
+	return u.numbering
+}
+
+// valid reports whether the numbering still matches the unit positionally.
+func (n *Numbering) valid() bool {
+	if n.unit == nil {
+		return false
+	}
+	i := 0
+	match := func(v Value) bool {
+		ok := i < len(n.values) && n.values[i] == v
+		i++
+		return ok
+	}
+	for _, a := range n.unit.Inputs {
+		if !match(a) {
+			return false
+		}
+	}
+	for _, a := range n.unit.Outputs {
+		if !match(a) {
+			return false
+		}
+	}
+	for _, b := range n.unit.Blocks {
+		for _, in := range b.Insts {
+			if !match(in) {
+				return false
+			}
+		}
+	}
+	return i == len(n.values)
+}
+
+// invalidateNumbering drops the cached numbering after a structural
+// mutation. Node IDs are left stale; they are rewritten wholesale by the
+// next Numbering call.
+func (u *Unit) invalidateNumbering() { u.numbering = nil }
+
+func computeNumbering(u *Unit) *Numbering {
+	n := &Numbering{unit: u}
+	for _, a := range u.Inputs {
+		a.vid = int32(len(n.values)) + 1
+		n.values = append(n.values, a)
+	}
+	for _, a := range u.Outputs {
+		a.vid = int32(len(n.values)) + 1
+		n.values = append(n.values, a)
+	}
+	u.ForEachInst(func(_ *Block, in *Inst) {
+		in.vid = int32(len(n.values)) + 1
+		n.values = append(n.values, in)
+	})
+	return n
+}
+
+// Len returns the number of values in the unit: valid IDs are [0, Len()).
+func (n *Numbering) Len() int { return len(n.values) }
+
+// Unit returns the unit the numbering describes.
+func (n *Numbering) Unit() *Unit { return n.unit }
+
+// Value returns the value with the given ID.
+func (n *Numbering) Value(id int) Value { return n.values[id] }
+
+// ID returns the dense ID of v under this numbering, or -1 if v is not a
+// numbered value of this unit. Unlike ValueID it verifies membership, so it
+// is safe across units; use it on setup paths.
+func (n *Numbering) ID(v Value) int {
+	id := ValueID(v)
+	if id < 0 || id >= len(n.values) || n.values[id] != v {
+		return -1
+	}
+	return id
+}
+
+// ValueID returns the dense ID assigned to v by its unit's Numbering, or -1
+// for values that are not numbered (global unit references, detached
+// nodes). It is a plain field read — no hashing — and is the hot-path
+// accessor for frame and register-file indexing.
+func ValueID(v Value) int {
+	switch x := v.(type) {
+	case *Inst:
+		return int(x.vid) - 1
+	case *Arg:
+		return int(x.vid) - 1
+	}
+	return -1
+}

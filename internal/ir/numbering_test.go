@@ -1,0 +1,118 @@
+package ir
+
+import "testing"
+
+// TestNumberingDenseAndStable checks the numbering order (inputs, outputs,
+// instructions in block order), ValueID agreement, and caching.
+func TestNumberingDenseAndStable(t *testing.T) {
+	u := NewUnit(UnitProc, "p")
+	in0 := u.AddInput("a", SignalType(IntType(8)))
+	out0 := u.AddOutput("q", SignalType(IntType(8)))
+	b := u.AddBlock("entry")
+	c := &Inst{Op: OpConstInt, Ty: IntType(8), IVal: 1}
+	b.Append(c)
+	add := &Inst{Op: OpAdd, Ty: IntType(8), Args: []Value{c, c}}
+	b.Append(add)
+
+	num := u.Numbering()
+	if num.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", num.Len())
+	}
+	want := []Value{in0, out0, c, add}
+	for i, v := range want {
+		if got := ValueID(v); got != i {
+			t.Errorf("ValueID(%v) = %d, want %d", v, got, i)
+		}
+		if num.Value(i) != v {
+			t.Errorf("Value(%d) != %v", i, v)
+		}
+		if num.ID(v) != i {
+			t.Errorf("ID(%v) = %d, want %d", v, num.ID(v), i)
+		}
+	}
+	if again := u.Numbering(); again != num {
+		t.Error("Numbering not cached across calls")
+	}
+}
+
+// TestNumberingInvalidation checks that structural mutations drop the
+// cache and renumber densely.
+func TestNumberingInvalidation(t *testing.T) {
+	u := NewUnit(UnitProc, "p")
+	b := u.AddBlock("entry")
+	c1 := &Inst{Op: OpConstInt, Ty: IntType(8), IVal: 1}
+	c2 := &Inst{Op: OpConstInt, Ty: IntType(8), IVal: 2}
+	b.Append(c1)
+	b.Append(c2)
+	num := u.Numbering()
+	if num.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", num.Len())
+	}
+
+	// Removing an instruction must invalidate and renumber densely.
+	b.Remove(c1)
+	num2 := u.Numbering()
+	if num2 == num {
+		t.Fatal("numbering not invalidated by Remove")
+	}
+	if num2.Len() != 1 {
+		t.Fatalf("post-remove Len = %d, want 1", num2.Len())
+	}
+	if got := ValueID(c2); got != 0 {
+		t.Errorf("post-remove ValueID(c2) = %d, want 0", got)
+	}
+
+	// A removed value is no longer a member, even if its stale ID aliases.
+	if id := num2.ID(c1); id != -1 {
+		t.Errorf("ID of removed inst = %d, want -1", id)
+	}
+
+	// Appending invalidates again.
+	c3 := &Inst{Op: OpConstInt, Ty: IntType(8), IVal: 3}
+	b.Append(c3)
+	if u.Numbering() == num2 {
+		t.Error("numbering not invalidated by Append")
+	}
+	if got := ValueID(c3); got != 1 {
+		t.Errorf("ValueID(c3) = %d, want 1", got)
+	}
+}
+
+// TestNumberingSelfValidates checks that a numbering survives no mutation
+// but is recomputed after a direct slice splice that bypassed the
+// invalidation hooks (the pass layer filters b.Insts in place).
+func TestNumberingSelfValidates(t *testing.T) {
+	u := NewUnit(UnitProc, "p")
+	b := u.AddBlock("entry")
+	c1 := &Inst{Op: OpConstInt, Ty: IntType(8), IVal: 1}
+	c2 := &Inst{Op: OpConstInt, Ty: IntType(8), IVal: 2}
+	b.Append(c1)
+	b.Append(c2)
+	num := u.Numbering()
+	if again := u.Numbering(); again != num {
+		t.Fatal("unmutated numbering not reused")
+	}
+
+	// Splice c1 out by direct slice assignment, like pass-layer DCE does.
+	b.Insts = b.Insts[1:]
+	num2 := u.Numbering()
+	if num2 == num {
+		t.Fatal("stale numbering survived a direct slice mutation")
+	}
+	if num2.Len() != 1 || ValueID(c2) != 0 {
+		t.Errorf("post-splice: Len=%d ValueID(c2)=%d, want 1 and 0", num2.Len(), ValueID(c2))
+	}
+}
+
+// TestValueIDUnnumbered checks the sentinels: unit references and detached
+// nodes have no value ID.
+func TestValueIDUnnumbered(t *testing.T) {
+	u := NewUnit(UnitFunc, "f")
+	if got := ValueID(u); got != -1 {
+		t.Errorf("ValueID(unit) = %d, want -1", got)
+	}
+	detached := &Inst{Op: OpConstInt, Ty: IntType(1)}
+	if got := ValueID(detached); got != -1 {
+		t.Errorf("ValueID(detached inst) = %d, want -1", got)
+	}
+}

@@ -36,7 +36,8 @@ type Unit struct {
 
 	Blocks []*Block // entities have exactly one implicit block
 
-	mod *Module
+	mod       *Module
+	numbering *Numbering // cached dense value numbering, see Numbering()
 }
 
 // NewUnit creates a detached unit of the given kind and name.
@@ -70,6 +71,7 @@ func (u *Unit) String() string { return "@" + u.Name }
 func (u *Unit) AddInput(name string, ty *Type) *Arg {
 	a := &Arg{name: name, ty: ty, Index: len(u.Inputs), unit: u}
 	u.Inputs = append(u.Inputs, a)
+	u.invalidateNumbering()
 	return a
 }
 
@@ -77,6 +79,7 @@ func (u *Unit) AddInput(name string, ty *Type) *Arg {
 func (u *Unit) AddOutput(name string, ty *Type) *Arg {
 	a := &Arg{name: name, ty: ty, Index: len(u.Outputs), Output: true, unit: u}
 	u.Outputs = append(u.Outputs, a)
+	u.invalidateNumbering()
 	return a
 }
 
@@ -84,12 +87,14 @@ func (u *Unit) AddOutput(name string, ty *Type) *Arg {
 func (u *Unit) AddBlock(name string) *Block {
 	b := &Block{name: name, unit: u}
 	u.Blocks = append(u.Blocks, b)
+	u.invalidateNumbering()
 	return b
 }
 
 // InsertBlockAfter inserts a new block immediately after pos.
 func (u *Unit) InsertBlockAfter(name string, pos *Block) *Block {
 	b := &Block{name: name, unit: u}
+	u.invalidateNumbering()
 	for i, blk := range u.Blocks {
 		if blk == pos {
 			u.Blocks = append(u.Blocks, nil)
@@ -109,6 +114,7 @@ func (u *Unit) RemoveBlock(b *Block) {
 		if blk == b {
 			u.Blocks = append(u.Blocks[:i], u.Blocks[i+1:]...)
 			b.unit = nil
+			u.invalidateNumbering()
 			return
 		}
 	}

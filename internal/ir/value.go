@@ -22,6 +22,7 @@ type Arg struct {
 	Index  int  // position within inputs or outputs
 	Output bool // true if this is an output of a process/entity
 	unit   *Unit
+	vid    int32 // dense value ID + 1 under the unit's Numbering; 0 = unnumbered
 }
 
 // Type returns the argument's type.
@@ -94,17 +95,30 @@ func (b *Block) Succs() []*Block {
 func (b *Block) Append(inst *Inst) {
 	inst.block = b
 	b.Insts = append(b.Insts, inst)
+	b.invalidateNumbering()
 }
 
 // Adopt claims ownership of an instruction that was moved into the block
 // by direct slice manipulation (pass splicing). It only updates the parent
 // pointer; the caller is responsible for list membership.
-func (b *Block) Adopt(inst *Inst) { inst.block = b }
+func (b *Block) Adopt(inst *Inst) {
+	inst.block = b
+	b.invalidateNumbering()
+}
+
+// invalidateNumbering drops the owning unit's cached value numbering after
+// an instruction-list mutation.
+func (b *Block) invalidateNumbering() {
+	if b.unit != nil {
+		b.unit.invalidateNumbering()
+	}
+}
 
 // InsertBefore inserts inst immediately before pos. If pos is not found the
 // instruction is appended.
 func (b *Block) InsertBefore(inst *Inst, pos *Inst) {
 	inst.block = b
+	b.invalidateNumbering()
 	for i, in := range b.Insts {
 		if in == pos {
 			b.Insts = append(b.Insts, nil)
@@ -123,6 +137,7 @@ func (b *Block) Remove(inst *Inst) {
 		if in == inst {
 			b.Insts = append(b.Insts[:i], b.Insts[i+1:]...)
 			inst.block = nil
+			b.invalidateNumbering()
 			return
 		}
 	}

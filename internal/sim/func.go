@@ -9,12 +9,63 @@ import (
 	"llhd/internal/val"
 )
 
+// funcState is the per-function interpreter cache: the unit's value
+// numbering plus a pool of frames reused across calls, so steady-state
+// call chains (including recursion, which simply pops deeper frames)
+// allocate nothing.
+type funcState struct {
+	num  *ir.Numbering
+	free []*frame
+}
+
+// funcState returns (creating on first use) the cached state for fn.
+func (s *Simulator) funcState(fn *ir.Unit) *funcState {
+	if st, ok := s.fstates[fn]; ok {
+		return st
+	}
+	st := &funcState{num: fn.Numbering()}
+	s.fstates[fn] = st
+	return st
+}
+
+// acquire returns a reset frame sized for the function.
+func (st *funcState) acquire() *frame {
+	if n := len(st.free); n > 0 {
+		f := st.free[n-1]
+		st.free = st.free[:n-1]
+		f.reset()
+		return f
+	}
+	return newFrame(st.num.Len())
+}
+
+// release returns the frame to the pool.
+func (st *funcState) release(f *frame) { st.free = append(st.free, f) }
+
+// acquireArgs pops a call-argument buffer of length n from the pool.
+func (s *Simulator) acquireArgs(n int) []val.Value {
+	if k := len(s.argPool); k > 0 {
+		buf := s.argPool[k-1]
+		s.argPool = s.argPool[:k-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]val.Value, n)
+}
+
+// releaseArgs returns a buffer to the pool.
+func (s *Simulator) releaseArgs(buf []val.Value) {
+	s.argPool = append(s.argPool, buf[:0])
+}
+
 // interpretCall dispatches a call instruction: llhd.* intrinsics are
 // handled by the engine hooks, other callees are interpreted as functions.
 func interpretCall(s *Simulator, e *engine.Engine, in *ir.Inst,
 	arg func(ir.Value) (val.Value, error)) (val.Value, error) {
 
-	args := make([]val.Value, len(in.Args))
+	args := s.acquireArgs(len(in.Args))
+	defer s.releaseArgs(args)
 	for i, a := range in.Args {
 		v, err := arg(a)
 		if err != nil {
@@ -64,7 +115,9 @@ func intrinsic(e *engine.Engine, name string, args []val.Value) (val.Value, erro
 const maxCallDepth = 1000
 
 // interpretFunc runs a function unit to completion (functions execute
-// immediately, §2.4.1) and returns its return value.
+// immediately, §2.4.1) and returns its return value. The frame — values,
+// stack memory, and phi scratch — comes from the per-function pool and is
+// invalidated for reuse by a single stamp bump.
 func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value, depth int) (val.Value, error) {
 	if depth > maxCallDepth {
 		return val.Value{}, fmt.Errorf("call depth exceeded in @%s", fn.Name)
@@ -72,11 +125,19 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 	if len(args) != len(fn.Inputs) {
 		return val.Value{}, fmt.Errorf("@%s called with %d args, want %d", fn.Name, len(args), len(fn.Inputs))
 	}
-	env := map[ir.Value]val.Value{}
+	st := s.funcState(fn)
+	f := st.acquire()
+	defer st.release(f)
 	for i, a := range fn.Inputs {
-		env[a] = args[i]
+		f.set(ir.ValueID(a), args[i])
 	}
-	mem := map[*ir.Inst]*slot{}
+
+	get := func(v ir.Value) (val.Value, bool) {
+		if id := ir.ValueID(v); id >= 0 {
+			return f.get(id)
+		}
+		return val.Value{}, false
+	}
 
 	block := fn.Entry()
 	var prev *ir.Block
@@ -92,7 +153,7 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 		switch in.Op {
 		case ir.OpRet:
 			if len(in.Args) == 1 {
-				v, ok := env[in.Args[0]]
+				v, ok := get(in.Args[0])
 				if !ok {
 					return val.Value{}, fmt.Errorf("@%s: return value not computed", fn.Name)
 				}
@@ -103,11 +164,15 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 		case ir.OpBr:
 			var dest *ir.Block
 			if len(in.Args) == 1 {
-				c, ok := env[in.Args[0]]
+				c, ok := f.boolAt(in.Args[0])
 				if !ok {
-					return val.Value{}, fmt.Errorf("@%s: branch condition not computed", fn.Name)
+					cv, ok := get(in.Args[0])
+					if !ok {
+						return val.Value{}, fmt.Errorf("@%s: branch condition not computed", fn.Name)
+					}
+					c = cv.IsTrue()
 				}
-				if c.IsTrue() {
+				if c {
 					dest = in.Dests[1]
 				} else {
 					dest = in.Dests[0]
@@ -118,11 +183,9 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 			prev = block
 			block = dest
 			index = 0
-			// Resolve phis simultaneously.
-			var pending []struct {
-				in *ir.Inst
-				v  val.Value
-			}
+			// Resolve phis simultaneously via the frame's reusable scratch.
+			vals := f.phiVals[:0]
+			ids := f.phiIDs[:0]
 			for _, pin := range dest.Insts {
 				if pin.Op != ir.OpPhi {
 					break
@@ -130,25 +193,26 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 				found := false
 				for i, bb := range pin.Dests {
 					if bb == prev {
-						v, ok := env[pin.Args[i]]
+						v, ok := get(pin.Args[i])
 						if !ok {
+							f.phiVals, f.phiIDs = vals, ids
 							return val.Value{}, fmt.Errorf("@%s: phi operand not computed", fn.Name)
 						}
-						pending = append(pending, struct {
-							in *ir.Inst
-							v  val.Value
-						}{pin, v})
+						vals = append(vals, v)
+						ids = append(ids, ir.ValueID(pin))
 						found = true
 						break
 					}
 				}
 				if !found {
+					f.phiVals, f.phiIDs = vals, ids
 					return val.Value{}, fmt.Errorf("@%s: phi without edge from %s", fn.Name, prev)
 				}
 			}
-			for _, pe := range pending {
-				env[pe.in] = pe.v
+			for i, id := range ids {
+				f.set(id, vals[i])
 			}
+			f.phiVals, f.phiIDs = vals, ids
 
 		case ir.OpPhi:
 			// handled at branch time
@@ -156,7 +220,7 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 		case ir.OpVar, ir.OpAlloc:
 			var init val.Value
 			if in.Op == ir.OpVar {
-				v, ok := env[in.Args[0]]
+				v, ok := get(in.Args[0])
 				if !ok {
 					return val.Value{}, fmt.Errorf("@%s: var initializer not computed", fn.Name)
 				}
@@ -164,46 +228,47 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 			} else {
 				init = val.Default(in.Ty.Elem)
 			}
-			if s, ok := mem[in]; ok {
-				s.v = init
-				s.freed = false
-			} else {
-				mem[in] = &slot{v: init}
-			}
+			f.defineMem(ir.ValueID(in), init)
 
 		case ir.OpLd:
-			sl, err := funcSlot(mem, in.Args[0])
+			sl, err := f.memOf(in.Args[0])
 			if err != nil {
 				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
 			}
-			env[in] = sl.v.Clone()
+			f.set(ir.ValueID(in), sl.v.Clone())
 
 		case ir.OpSt:
-			sl, err := funcSlot(mem, in.Args[0])
+			sl, err := f.memOf(in.Args[0])
 			if err != nil {
 				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
 			}
-			v, ok := env[in.Args[1]]
+			v, ok := get(in.Args[1])
 			if !ok {
 				return val.Value{}, fmt.Errorf("@%s: store value not computed", fn.Name)
 			}
 			sl.v = v.Clone()
 
 		case ir.OpFree:
-			sl, err := funcSlot(mem, in.Args[0])
+			sl, err := f.memOf(in.Args[0])
 			if err != nil {
 				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
 			}
 			sl.freed = true
 
 		case ir.OpCall:
-			cargs := make([]val.Value, len(in.Args))
+			cargs := s.acquireArgs(len(in.Args))
+			argsOK := true
 			for i, a := range in.Args {
-				v, ok := env[a]
+				v, ok := get(a)
 				if !ok {
-					return val.Value{}, fmt.Errorf("@%s: call argument not computed", fn.Name)
+					argsOK = false
+					break
 				}
 				cargs[i] = v
+			}
+			if !argsOK {
+				s.releaseArgs(cargs)
+				return val.Value{}, fmt.Errorf("@%s: call argument not computed", fn.Name)
 			}
 			var rv val.Value
 			var err error
@@ -212,45 +277,33 @@ func interpretFunc(s *Simulator, e *engine.Engine, fn *ir.Unit, args []val.Value
 			} else {
 				callee := s.Module.Unit(in.Callee)
 				if callee == nil {
+					s.releaseArgs(cargs)
 					return val.Value{}, fmt.Errorf("@%s: call to undefined @%s", fn.Name, in.Callee)
 				}
 				rv, err = interpretFunc(s, e, callee, cargs, depth+1)
 			}
+			s.releaseArgs(cargs)
 			if err != nil {
 				return val.Value{}, err
 			}
 			if !in.Ty.IsVoid() {
-				env[in] = rv
+				f.set(ir.ValueID(in), rv)
 			}
 
 		case ir.OpUnreachable:
 			return val.Value{}, fmt.Errorf("@%s: reached unreachable", fn.Name)
 
 		default:
-			v, err := engine.EvalPure(in, func(x ir.Value) (val.Value, bool) {
-				rv, ok := env[x]
-				return rv, ok
-			})
+			// Scalar-integer ops run in place on the frame.
+			if f.evalFast(in) {
+				break
+			}
+			v, err := engine.EvalPure(in, f.lookup)
 			if err != nil {
 				return val.Value{}, fmt.Errorf("@%s: %w", fn.Name, err)
 			}
-			env[in] = v
+			f.set(ir.ValueID(in), v)
 		}
 	}
 	return val.Value{}, fmt.Errorf("@%s: step budget exhausted", fn.Name)
-}
-
-func funcSlot(mem map[*ir.Inst]*slot, ptr ir.Value) (*slot, error) {
-	in, ok := ptr.(*ir.Inst)
-	if !ok {
-		return nil, fmt.Errorf("pointer %s is not var/alloc result", ptr)
-	}
-	s, ok := mem[in]
-	if !ok {
-		return nil, fmt.Errorf("pointer %s not materialized", ptr)
-	}
-	if s.freed {
-		return nil, fmt.Errorf("use after free through %s", ptr)
-	}
-	return s, nil
 }

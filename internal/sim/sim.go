@@ -2,6 +2,13 @@
 // LLHD-Sim, §6.1): a deliberately simple tree-walking interpreter over the
 // IR, running on the shared discrete-event kernel in internal/engine. It
 // favours clarity over speed; internal/blaze is the fast counterpart.
+//
+// Since the slot-indexed frame rework the interpreter no longer keys its
+// environments by IR node: every value access indexes a flat frame by the
+// unit's ir.Numbering (see frame.go), the same value-ID scheme the blaze
+// compiler assigns register slots with. Frames, wait sets and call-argument
+// buffers are pooled, so the per-wake hot path is allocation-free in steady
+// state (pinned by TestInterpWakeHotPathAllocFree).
 package sim
 
 import (
@@ -17,13 +24,19 @@ type Simulator struct {
 	Engine *engine.Engine
 	Module *ir.Module
 	Top    string
+
+	// fstates caches per-function numberings and pooled frames; argPool
+	// recycles call-argument buffers. Both keep the call path off the
+	// allocator at steady state.
+	fstates map[*ir.Unit]*funcState
+	argPool [][]val.Value
 }
 
 // New elaborates the design hierarchy under the named top unit with the
 // interpreting process factory.
 func New(m *ir.Module, top string) (*Simulator, error) {
 	e := engine.New()
-	s := &Simulator{Engine: e, Module: m, Top: top}
+	s := &Simulator{Engine: e, Module: m, Top: top, fstates: map[*ir.Unit]*funcState{}}
 	factory := func(inst *engine.Instance) (engine.Process, error) {
 		switch inst.Unit.Kind {
 		case ir.UnitProc:
@@ -48,21 +61,18 @@ func (s *Simulator) Run(limit ir.Time) error {
 	return s.Engine.Err()
 }
 
-// slot is one memory cell created by var or alloc.
-type slot struct {
-	v     val.Value
-	freed bool
-}
-
-// procInterp interprets one process instance.
+// procInterp interprets one process instance. Its frame persists across
+// wakes (a process resumes mid-execution, so values computed before a wait
+// stay live) and is never reset.
 type procInterp struct {
 	engine.ProcHandle
 	sim  *Simulator
 	inst *engine.Instance
 
-	env    map[ir.Value]val.Value
-	sigs   map[ir.Value]engine.SigRef
-	mem    map[*ir.Inst]*slot
+	frame *frame
+	sigTable
+	waitRefs []engine.SigRef // reusable wait sensitivity scratch
+
 	block  *ir.Block // current block
 	index  int       // next instruction index in block
 	prev   *ir.Block // predecessor, for phi resolution
@@ -70,16 +80,15 @@ type procInterp struct {
 }
 
 func newProcInterp(s *Simulator, inst *engine.Instance) *procInterp {
+	n := inst.Numbering().Len()
 	p := &procInterp{
-		sim:  s,
-		inst: inst,
-		env:  map[ir.Value]val.Value{},
-		sigs: map[ir.Value]engine.SigRef{},
-		mem:  map[*ir.Inst]*slot{},
+		sim:   s,
+		inst:  inst,
+		frame: newFrame(n),
 	}
-	for v, r := range inst.Bind {
-		p.sigs[v] = r
-	}
+	// Copy the elaborated signal bindings; runtime extf/exts projections
+	// extend the process-local table.
+	p.seedSigs(inst, n)
 	return p
 }
 
@@ -124,31 +133,32 @@ func (p *procInterp) run(e *engine.Engine) {
 
 // value resolves an operand to its runtime value.
 func (p *procInterp) value(v ir.Value) (val.Value, error) {
-	if rv, ok := p.env[v]; ok {
-		return rv, nil
+	if id := ir.ValueID(v); id >= 0 {
+		if rv, ok := p.frame.get(id); ok {
+			return rv, nil
+		}
 	}
 	return val.Value{}, fmt.Errorf("value %s not computed", v)
 }
 
-// sigRef resolves an operand to a signal reference.
+// sigRef resolves an operand to a signal reference or errors.
 func (p *procInterp) sigRef(v ir.Value) (engine.SigRef, error) {
-	if r, ok := p.sigs[v]; ok {
+	if r, ok := p.sigOf(v); ok {
 		return r, nil
 	}
 	return engine.SigRef{}, fmt.Errorf("%s is not a signal reference", v)
 }
 
 // jump transfers control to dest, resolving its phi nodes against the
-// current block.
+// current block. The phi scratch on the frame is reused across jumps.
 func (p *procInterp) jump(dest *ir.Block) error {
 	p.prev = p.block
 	p.block = dest
 	p.index = 0
 	// Evaluate all phis of dest simultaneously against the edge taken.
-	var pending []struct {
-		in *ir.Inst
-		v  val.Value
-	}
+	vals := p.frame.phiVals[:0]
+	ids := p.frame.phiIDs[:0]
+	defer func() { p.frame.phiVals, p.frame.phiIDs = vals, ids }()
 	for _, in := range dest.Insts {
 		if in.Op != ir.OpPhi {
 			break
@@ -160,10 +170,8 @@ func (p *procInterp) jump(dest *ir.Block) error {
 				if err != nil {
 					return err
 				}
-				pending = append(pending, struct {
-					in *ir.Inst
-					v  val.Value
-				}{in, v})
+				vals = append(vals, v)
+				ids = append(ids, ir.ValueID(in))
 				found = true
 				break
 			}
@@ -172,8 +180,8 @@ func (p *procInterp) jump(dest *ir.Block) error {
 			return fmt.Errorf("phi in %s has no incoming edge from %s", dest, p.prev)
 		}
 	}
-	for _, pe := range pending {
-		p.env[pe.in] = pe.v
+	for i, id := range ids {
+		p.frame.set(id, vals[i])
 	}
 	return nil
 }
@@ -187,8 +195,8 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		return false, nil
 
 	case ir.OpExtF:
-		if r, ok := p.sigs[in.Args[0]]; ok && len(in.Args) == 1 {
-			p.sigs[in] = r.Extend(engine.Proj{Kind: engine.ProjField, A: in.Imm0})
+		if r, ok := p.sigOf(in.Args[0]); ok && len(in.Args) == 1 {
+			p.setSig(in, r.Extend(engine.Proj{Kind: engine.ProjField, A: in.Imm0}))
 			return false, nil
 		}
 		if in.Args[0].Type().IsPointer() {
@@ -198,8 +206,8 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		// to the pure evaluator below.
 
 	case ir.OpExtS:
-		if r, ok := p.sigs[in.Args[0]]; ok {
-			p.sigs[in] = r.Extend(engine.Proj{Kind: engine.ProjSlice, A: in.Imm0, B: in.Imm1})
+		if r, ok := p.sigOf(in.Args[0]); ok {
+			p.setSig(in, r.Extend(engine.Proj{Kind: engine.ProjSlice, A: in.Imm0, B: in.Imm1}))
 			return false, nil
 		}
 
@@ -208,7 +216,7 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		p.env[in] = e.Probe(r)
+		p.frame.set(ir.ValueID(in), e.Probe(r))
 		return false, nil
 
 	case ir.OpDrv:
@@ -249,24 +257,19 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		}
 		// Re-executing a var (loop) rebinds the same slot with the init
 		// value, matching stack-slot semantics.
-		if s, ok := p.mem[in]; ok {
-			s.v = init
-			s.freed = false
-		} else {
-			p.mem[in] = &slot{v: init}
-		}
+		p.frame.defineMem(ir.ValueID(in), init)
 		return false, nil
 
 	case ir.OpLd:
-		s, err := p.slotOf(in.Args[0])
+		s, err := p.frame.memOf(in.Args[0])
 		if err != nil {
 			return false, err
 		}
-		p.env[in] = s.v.Clone()
+		p.frame.set(ir.ValueID(in), s.v.Clone())
 		return false, nil
 
 	case ir.OpSt:
-		s, err := p.slotOf(in.Args[0])
+		s, err := p.frame.memOf(in.Args[0])
 		if err != nil {
 			return false, err
 		}
@@ -278,7 +281,7 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		return false, nil
 
 	case ir.OpFree:
-		s, err := p.slotOf(in.Args[0])
+		s, err := p.frame.memOf(in.Args[0])
 		if err != nil {
 			return false, err
 		}
@@ -286,22 +289,26 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		return false, nil
 
 	case ir.OpCall:
-		rv, err := interpretCall(p.sim, e, in, func(v ir.Value) (val.Value, error) { return p.value(v) })
+		rv, err := interpretCall(p.sim, e, in, p.value)
 		if err != nil {
 			return false, err
 		}
 		if !in.Ty.IsVoid() {
-			p.env[in] = rv
+			p.frame.set(ir.ValueID(in), rv)
 		}
 		return false, nil
 
 	case ir.OpBr:
 		if len(in.Args) == 1 {
-			c, err := p.value(in.Args[0])
-			if err != nil {
-				return false, err
+			c, ok := p.frame.boolAt(in.Args[0])
+			if !ok {
+				cv, err := p.value(in.Args[0])
+				if err != nil {
+					return false, err
+				}
+				c = cv.IsTrue()
 			}
-			if c.IsTrue() {
+			if c {
 				return false, p.jump(in.Dests[1])
 			}
 			return false, p.jump(in.Dests[0])
@@ -309,14 +316,16 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		return false, p.jump(in.Dests[0])
 
 	case ir.OpWait:
-		var refs []engine.SigRef
+		refs := p.waitRefs[:0]
 		for _, a := range in.Args {
 			r, err := p.sigRef(a)
 			if err != nil {
+				p.waitRefs = refs
 				return false, err
 			}
 			refs = append(refs, r)
 		}
+		p.waitRefs = refs
 		e.Subscribe(p.ProcID(), refs)
 		if in.TimeArg != nil {
 			t, err := p.value(in.TimeArg)
@@ -342,29 +351,15 @@ func (p *procInterp) exec(e *engine.Engine, in *ir.Inst) (bool, error) {
 		return false, fmt.Errorf("ret in a process")
 	}
 
-	// Pure data flow.
-	v, err := engine.EvalPure(in, func(x ir.Value) (val.Value, bool) {
-		rv, ok := p.env[x]
-		return rv, ok
-	})
+	// Pure data flow: scalar-integer ops run in place on the frame; logic
+	// vectors, aggregates and times take the generic evaluator.
+	if p.frame.evalFast(in) {
+		return false, nil
+	}
+	v, err := engine.EvalPure(in, p.frame.lookup)
 	if err != nil {
 		return false, err
 	}
-	p.env[in] = v
+	p.frame.set(ir.ValueID(in), v)
 	return false, nil
-}
-
-func (p *procInterp) slotOf(ptr ir.Value) (*slot, error) {
-	in, ok := ptr.(*ir.Inst)
-	if !ok {
-		return nil, fmt.Errorf("pointer %s is not var/alloc result", ptr)
-	}
-	s, ok := p.mem[in]
-	if !ok {
-		return nil, fmt.Errorf("pointer %s not materialized", ptr)
-	}
-	if s.freed {
-		return nil, fmt.Errorf("use after free through %s", ptr)
-	}
-	return s, nil
 }
