@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test bench bench-kernel bench-table2
+.PHONY: check build vet test test-race bench bench-kernel bench-table2
 
 # check is the tier-1 verification: the build, go vet, and the full test
 # suite must all pass.
@@ -14,6 +14,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# test-race runs the kernel, reference-interpreter, and svsim suites
+# under the race detector (observer dispatch, slot pooling, and the
+# svsim coroutine handoff).
+test-race:
+	$(GO) test -race ./internal/engine ./internal/sim ./internal/svsim
 
 # bench regenerates the paper's evaluation benchmarks (Table 2/4, Figure 5).
 bench:

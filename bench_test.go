@@ -13,19 +13,27 @@ import (
 	"llhd"
 	"llhd/internal/bench"
 	"llhd/internal/bitcode"
-	"llhd/internal/blaze"
 	"llhd/internal/designs"
-	"llhd/internal/ir"
 	"llhd/internal/moore"
 	"llhd/internal/pass"
-	"llhd/internal/sim"
-	"llhd/internal/svsim"
 )
 
-// BenchmarkTable2 runs every design on the three simulators (Table 2):
-// the reference interpreter (Int), the compiled simulator (Blaze, the JIT
-// analog) and the AST-level commercial substitute (SVSim).
+// BenchmarkTable2 runs every design on the three simulators (Table 2)
+// through the unified Session API: the reference interpreter (Int), the
+// compiled simulator (Blaze, the JIT analog) and the AST-level commercial
+// substitute (SVSim). One op is one elaborate+simulate session.
 func BenchmarkTable2(b *testing.B) {
+	runSession := func(b *testing.B, opts ...llhd.SessionOption) {
+		b.Helper()
+		s, err := llhd.NewSession(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		s.Finish()
+	}
 	for _, d := range designs.All() {
 		d := d
 		b.Run(d.Name+"/Int", func(b *testing.B) {
@@ -35,13 +43,7 @@ func BenchmarkTable2(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s, err := sim.New(m, d.Top)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := s.Run(ir.Time{}); err != nil {
-					b.Fatal(err)
-				}
+				runSession(b, llhd.FromModule(m), llhd.Top(d.Top), llhd.Backend(llhd.Interp))
 			}
 		})
 		b.Run(d.Name+"/Blaze", func(b *testing.B) {
@@ -51,25 +53,13 @@ func BenchmarkTable2(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s, err := blaze.New(m, d.Top)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := s.Run(ir.Time{}); err != nil {
-					b.Fatal(err)
-				}
+				runSession(b, llhd.FromModule(m), llhd.Top(d.Top), llhd.Backend(llhd.Blaze))
 			}
 		})
 		b.Run(d.Name+"/SVSim", func(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s, err := svsim.New(d.Source, d.Top)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := s.Run(ir.Time{}); err != nil {
-					b.Fatal(err)
-				}
+				runSession(b, llhd.FromSystemVerilog(d.Source), llhd.Top(d.Top), llhd.Backend(llhd.SVSim))
 			}
 		})
 	}

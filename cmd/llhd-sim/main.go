@@ -1,10 +1,13 @@
-// Command llhd-sim simulates an LLHD design: the reference interpreter by
-// default, or the compiled engine with -blaze. Input may be assembly text
-// (.llhd) or bitcode.
+// Command llhd-sim simulates a hardware design through the unified
+// Session API: the reference interpreter by default, the compiled engine
+// with -engine blaze, or the AST-level SystemVerilog engine with
+// -engine svsim. Input may be LLHD assembly text (.llhd), LLHD bitcode,
+// or SystemVerilog source (.sv / .v — required for -engine svsim).
 //
 // Usage:
 //
-//	llhd-sim [-top name] [-blaze] [-t 100us] [-trace] design.llhd
+//	llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us]
+//	         [-vcd out.vcd] [-trace] design.{llhd,bc,sv}
 package main
 
 import (
@@ -16,88 +19,117 @@ import (
 	"strings"
 
 	"llhd"
-	"llhd/internal/engine"
 	"llhd/internal/ir"
 )
 
 func main() {
-	top := flag.String("top", "", "top unit to elaborate (default: last entity in the module)")
-	useBlaze := flag.Bool("blaze", false, "use the compiled simulation engine")
+	top := flag.String("top", "", "top unit to elaborate (default: last entity in the module; required for -engine svsim)")
+	engineName := flag.String("engine", "interp", "simulation engine: interp, blaze, or svsim")
 	limit := flag.String("t", "", "simulation time limit, e.g. 100us (default: run to quiescence)")
-	trace := flag.Bool("trace", false, "print every signal change")
+	trace := flag.Bool("trace", false, "stream every signal change to stdout")
+	vcdPath := flag.String("vcd", "", "write the waveform as VCD to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: llhd-sim [-top name] [-blaze] [-t 100us] [-trace] design.llhd")
+		fmt.Fprintln(os.Stderr, "usage: llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us] [-vcd out.vcd] [-trace] design.{llhd,bc,sv}")
 		os.Exit(2)
+	}
+	kind, err := llhd.ParseEngineKind(*engineName)
+	if err != nil {
+		fatal(err)
 	}
 	path := flag.Arg(0)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	var m *llhd.Module
-	if bytes.HasPrefix(data, []byte("LLHD")) {
-		m, err = llhd.DecodeBitcode(data)
-	} else {
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		m, err = llhd.ParseAssembly(name, string(data))
-	}
-	if err != nil {
-		fatal(err)
-	}
 
-	topName := *top
-	if topName == "" {
-		for _, u := range m.Units {
-			if u.Kind == ir.UnitEntity {
-				topName = u.Name
-			}
-		}
-		if topName == "" {
-			fatal(fmt.Errorf("no entity found; pass -top"))
-		}
-	}
-
-	var tl ir.Time
+	var limitTime llhd.Time
 	if *limit != "" {
 		t, err := ir.ParseTime(*limit)
 		if err != nil {
 			fatal(err)
 		}
-		tl = t
+		limitTime = t
 	}
 
-	var eng *engine.Engine
-	if *useBlaze {
-		s, err := llhd.NewCompiled(m, topName)
-		if err != nil {
-			fatal(err)
-		}
-		eng = s.Engine
-	} else {
-		s, err := llhd.NewInterpreter(m, topName)
-		if err != nil {
-			fatal(err)
-		}
-		eng = s.Engine
+	opts := []llhd.SessionOption{
+		llhd.Backend(kind),
+		llhd.WithDisplay(func(s string) { fmt.Println(s) }),
 	}
-	eng.Tracing = *trace
-	eng.Display = func(s string) { fmt.Println(s) }
-	eng.Init()
-	eng.Run(tl)
-	if err := eng.Err(); err != nil {
+	if *top != "" {
+		opts = append(opts, llhd.Top(*top))
+	}
+
+	// Source selection: bitcode by magic, SystemVerilog by extension (or
+	// because svsim executes the source directly), assembly otherwise.
+	ext := strings.ToLower(filepath.Ext(path))
+	switch {
+	case bytes.HasPrefix(data, []byte("LLHD")):
+		if kind == llhd.SVSim {
+			fatal(fmt.Errorf("-engine svsim needs SystemVerilog source, not bitcode"))
+		}
+		m, err := llhd.DecodeBitcode(data)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, llhd.FromModule(m))
+	case ext == ".sv" || ext == ".v" || kind == llhd.SVSim:
+		if kind == llhd.SVSim && ext == ".llhd" {
+			fatal(fmt.Errorf("-engine svsim needs SystemVerilog source, not LLHD assembly"))
+		}
+		opts = append(opts, llhd.FromSystemVerilog(string(data)))
+	default:
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		m, err := llhd.ParseAssembly(name, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, llhd.FromModule(m))
+	}
+
+	if *trace {
+		opts = append(opts, llhd.WithObserver(printObserver{}))
+	}
+	var vcdFile *os.File
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		vcdFile = f
+		opts = append(opts, llhd.WithVCD(f))
+	}
+
+	sess, err := llhd.NewSession(opts...)
+	if err != nil {
 		fatal(err)
 	}
-	if *trace {
-		for _, te := range eng.Trace {
-			fmt.Printf("%-14v %s = %s\n", te.Time, te.Sig.Name, te.Value)
+	runErr := sess.RunUntil(limitTime)
+	st := sess.Finish()
+	if runErr == nil {
+		runErr = sess.Err() // deferred output errors flushed by Finish
+	}
+	if vcdFile != nil {
+		if err := vcdFile.Close(); err != nil && runErr == nil {
+			runErr = err
 		}
 	}
+	if runErr != nil {
+		fatal(runErr)
+	}
 	fmt.Printf("simulation finished at %v: %d delta steps, %d events, %d assertion failures\n",
-		eng.Now, eng.DeltaCount, eng.EventCount, eng.Failures)
-	if eng.Failures > 0 {
+		st.Now, st.DeltaSteps, st.Events, st.AssertionFailures)
+	if st.AssertionFailures > 0 {
 		os.Exit(1)
 	}
+}
+
+// printObserver streams changes to stdout as they settle — bounded
+// memory, unlike the retired grow-only trace buffer.
+type printObserver struct{}
+
+func (printObserver) OnChange(t llhd.Time, sig *llhd.Signal, v llhd.Value) {
+	fmt.Printf("%-14v %s = %s\n", t, sig.Name, v)
 }
 
 func fatal(err error) {

@@ -1,10 +1,14 @@
-// Quickstart: parse the paper's Figure 2 testbench (LLHD assembly),
-// simulate it with the reference interpreter, and inspect the result.
+// Quickstart: parse the paper's Figure 2 testbench (LLHD assembly) and
+// simulate it through the unified Session API — batch-run on the
+// reference interpreter with a streamed VCD waveform, then re-run the
+// same design stepped on the compiled engine. Switching engines is one
+// option; everything else (Run, Step, Probe, Finish) is identical.
 package main
 
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"llhd"
 )
@@ -98,15 +102,53 @@ func main() {
 	}
 	fmt.Printf("parsed %d units; module level: %v\n", len(m.Units), llhd.LevelOf(m))
 
-	sim, err := llhd.NewInterpreter(m, "acc_tb")
+	// Batch run on the reference interpreter, streaming a VCD waveform.
+	var wave strings.Builder
+	sess, err := llhd.NewSession(
+		llhd.FromModule(m),
+		llhd.Top("acc_tb"),
+		llhd.Backend(llhd.Interp),
+		llhd.WithVCD(&wave),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.Run(llhd.Time{}); err != nil {
+	if err := sess.Run(); err != nil {
 		log.Fatal(err)
 	}
-	q := sim.Engine.SignalByName("acc_tb.q")
-	fmt.Printf("simulation finished at %v after %d delta steps\n",
-		sim.Engine.Now, sim.Engine.DeltaCount)
-	fmt.Printf("accumulator output q = %s\n", q.Value())
+	q, _ := sess.Probe("acc_tb.q")
+	st := sess.Finish()
+	fmt.Printf("simulation finished at %v after %d delta steps, %d events\n",
+		st.Now, st.DeltaSteps, st.Events)
+	fmt.Printf("accumulator output q = %s\n", q)
+	fmt.Printf("VCD waveform: %d lines (open in any viewer)\n",
+		strings.Count(wave.String(), "\n"))
+
+	// The same design, stepped instant by instant on the compiled engine.
+	m2, err := llhd.ParseAssembly("acc_tb", figure2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stepped, err := llhd.NewSession(
+		llhd.FromModule(m2),
+		llhd.Top("acc_tb"),
+		llhd.Backend(llhd.Blaze),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := 0
+	for {
+		more, err := stepped.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		steps++
+		if !more {
+			break
+		}
+	}
+	q2, _ := stepped.Probe("acc_tb.q")
+	stepped.Finish() // releases engine resources; required for SVSim sessions
+	fmt.Printf("stepped run (blaze): %d instants, q = %s\n", steps, q2)
 }

@@ -27,30 +27,32 @@ func main() {
 	}
 
 	t0 := time.Now()
-	interp, err := llhd.NewInterpreter(m1, d.Top)
+	interp, err := llhd.NewSession(llhd.FromModule(m1), llhd.Top(d.Top), llhd.Backend(llhd.Interp))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := interp.Run(llhd.Time{}); err != nil {
+	if err := interp.Run(); err != nil {
 		log.Fatal(err)
 	}
 	interpTime := time.Since(t0)
+	interpStats := interp.Finish()
 
 	t0 = time.Now()
-	compiled, err := llhd.NewCompiled(m2, d.Top)
+	compiled, err := llhd.NewSession(llhd.FromModule(m2), llhd.Top(d.Top), llhd.Backend(llhd.Blaze))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := compiled.Run(llhd.Time{}); err != nil {
+	if err := compiled.Run(); err != nil {
 		log.Fatal(err)
 	}
 	compiledTime := time.Since(t0)
+	compiledStats := compiled.Finish()
 
-	result := interp.Engine.SignalByName("riscv_tb.result")
-	done := interp.Engine.SignalByName("riscv_tb.done")
-	fmt.Printf("core halted: done=%s, x10 = %s (want 5050)\n", done.Value(), result.Value())
+	result, _ := interp.Probe("riscv_tb.result")
+	done, _ := interp.Probe("riscv_tb.done")
+	fmt.Printf("core halted: done=%s, x10 = %s (want 5050)\n", done, result)
 	fmt.Printf("assertion failures: interpreter %d, compiled %d\n",
-		interp.Engine.Failures, compiled.Engine.Failures)
-	fmt.Printf("interpreter: %v (%d delta steps)\n", interpTime, interp.Engine.DeltaCount)
-	fmt.Printf("compiled:    %v (%d delta steps)\n", compiledTime, compiled.Engine.DeltaCount)
+		interpStats.AssertionFailures, compiledStats.AssertionFailures)
+	fmt.Printf("interpreter: %v (%d delta steps)\n", interpTime, interpStats.DeltaSteps)
+	fmt.Printf("compiled:    %v (%d delta steps)\n", compiledTime, compiledStats.DeltaSteps)
 }

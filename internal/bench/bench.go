@@ -11,14 +11,12 @@ import (
 	"runtime"
 	"time"
 
+	"llhd"
 	"llhd/internal/assembly"
 	"llhd/internal/bitcode"
-	"llhd/internal/blaze"
 	"llhd/internal/designs"
 	"llhd/internal/ir"
 	"llhd/internal/moore"
-	"llhd/internal/sim"
-	"llhd/internal/svsim"
 )
 
 // Table2Row is one measured row of Table 2. The allocation counts cover
@@ -62,66 +60,60 @@ func RunTable2() ([]Table2Row, error) {
 	return rows, nil
 }
 
-// RunTable2Design measures one design.
+// runEngine times one elaborate+simulate session on the given engine and
+// returns the measurement plus the session's final statistics. The module
+// compile (for the LLHD engines) stays outside the timed region, matching
+// what the paper's Table 2 measures.
+func runEngine(d designs.Design, kind llhd.EngineKind) (secs float64, allocs uint64, st llhd.Finish, err error) {
+	source := []llhd.SessionOption{llhd.FromSystemVerilog(d.Source)}
+	if kind != llhd.SVSim {
+		m, cerr := moore.Compile(d.Name, d.Source)
+		if cerr != nil {
+			return 0, 0, st, cerr
+		}
+		source = []llhd.SessionOption{llhd.FromModule(m)}
+	}
+	secs, allocs, err = measure(func() error {
+		s, err := llhd.NewSession(append(source, llhd.Top(d.Top), llhd.Backend(kind))...)
+		if err != nil {
+			return err
+		}
+		err = s.Run()
+		st = s.Finish()
+		return err
+	})
+	return secs, allocs, st, err
+}
+
+// RunTable2Design measures one design on all three engines through the
+// Session API.
 func RunTable2Design(d designs.Design) (Table2Row, error) {
 	row := Table2Row{Design: d.Display, LoC: countLines(d.Source)}
 
 	// Reference interpreter (LLHD-Sim).
-	m1, err := moore.Compile(d.Name, d.Source)
-	if err != nil {
-		return row, err
-	}
-	var si *sim.Simulator
-	secs, allocs, err := measure(func() error {
-		var err error
-		si, err = sim.New(m1, d.Top)
-		if err != nil {
-			return err
-		}
-		return si.Run(ir.Time{})
-	})
+	secs, allocs, st, err := runEngine(d, llhd.Interp)
 	if err != nil {
 		return row, err
 	}
 	row.InterpS, row.InterpAllocs = secs, allocs
-	row.Deltas = si.Engine.DeltaCount
-	row.Failures = si.Engine.Failures
+	row.Deltas = st.DeltaSteps
+	row.Failures = st.AssertionFailures
 
 	// Compiled simulator (LLHD-Blaze analog).
-	m2, err := moore.Compile(d.Name, d.Source)
-	if err != nil {
-		return row, err
-	}
-	var bz *blaze.Simulator
-	secs, allocs, err = measure(func() error {
-		var err error
-		bz, err = blaze.New(m2, d.Top)
-		if err != nil {
-			return err
-		}
-		return bz.Run(ir.Time{})
-	})
+	secs, allocs, st, err = runEngine(d, llhd.Blaze)
 	if err != nil {
 		return row, err
 	}
 	row.BlazeS, row.BlazeAllocs = secs, allocs
-	row.Failures += bz.Engine.Failures
+	row.Failures += st.AssertionFailures
 
 	// AST-level simulator (commercial substitute).
-	var sv *svsim.Simulator
-	secs, allocs, err = measure(func() error {
-		var err error
-		sv, err = svsim.New(d.Source, d.Top)
-		if err != nil {
-			return err
-		}
-		return sv.Run(ir.Time{})
-	})
+	secs, allocs, st, err = runEngine(d, llhd.SVSim)
 	if err != nil {
 		return row, err
 	}
 	row.SVSimS, row.SVSimAllocs = secs, allocs
-	row.Failures += sv.Engine.Failures
+	row.Failures += st.AssertionFailures
 	return row, nil
 }
 

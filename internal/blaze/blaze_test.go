@@ -1,66 +1,16 @@
 package blaze_test
 
 import (
-	"fmt"
 	"testing"
 	"time"
 
 	"llhd/internal/assembly"
 	"llhd/internal/blaze"
-	"llhd/internal/engine"
 	"llhd/internal/ir"
 	"llhd/internal/moore"
 	"llhd/internal/sim"
+	"llhd/internal/simtest"
 )
-
-// traceOf runs a simulation and renders its change trace as strings.
-func traceStrings(t *testing.T, e *engine.Engine) []string {
-	t.Helper()
-	var out []string
-	for _, te := range e.Trace {
-		out = append(out, fmt.Sprintf("%v %s=%s", te.Time, te.Sig.Name, te.Value))
-	}
-	return out
-}
-
-// runBoth simulates the module with the interpreter and the compiled
-// simulator and returns both traces.
-func runBoth(t *testing.T, m1, m2 *ir.Module, top string) (interp, compiled []string) {
-	t.Helper()
-	si, err := sim.New(m1, top)
-	if err != nil {
-		t.Fatalf("sim.New: %v", err)
-	}
-	si.Engine.Tracing = true
-	if err := si.Run(ir.Time{}); err != nil {
-		t.Fatalf("interpreter run: %v", err)
-	}
-
-	bz, err := blaze.New(m2, top)
-	if err != nil {
-		t.Fatalf("blaze.New: %v", err)
-	}
-	bz.Engine.Tracing = true
-	if err := bz.Run(ir.Time{}); err != nil {
-		t.Fatalf("blaze run: %v", err)
-	}
-	return traceStrings(t, si.Engine), traceStrings(t, bz.Engine)
-}
-
-func compareTraces(t *testing.T, interp, compiled []string) {
-	t.Helper()
-	if len(interp) == 0 {
-		t.Fatal("interpreter trace is empty")
-	}
-	if len(interp) != len(compiled) {
-		t.Fatalf("trace lengths differ: interpreter %d vs compiled %d", len(interp), len(compiled))
-	}
-	for i := range interp {
-		if interp[i] != compiled[i] {
-			t.Fatalf("traces diverge at %d:\n  interp:   %s\n  compiled: %s", i, interp[i], compiled[i])
-		}
-	}
-}
 
 const counterSrc = `
 entity @top () -> () {
@@ -118,8 +68,9 @@ proc @counter (i1$ %clk) -> (i32$ %count) {
 func TestTracesMatchCounter(t *testing.T) {
 	m1 := assembly.MustParse("c", counterSrc)
 	m2 := assembly.MustParse("c", counterSrc)
-	interp, compiled := runBoth(t, m1, m2, "top")
-	compareTraces(t, interp, compiled)
+	interp, _ := simtest.InterpTrace(t, m1, "top")
+	compiled, _ := simtest.BlazeTrace(t, m2, "top")
+	simtest.CompareTraces(t, interp, compiled)
 }
 
 // TestTracesMatchFigure3 compiles the paper's Figure 3 SystemVerilog with
@@ -159,8 +110,9 @@ endmodule
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	interp, compiled := runBoth(t, m1, m2, "acc_tb")
-	compareTraces(t, interp, compiled)
+	interp, _ := simtest.InterpTrace(t, m1, "acc_tb")
+	compiled, _ := simtest.BlazeTrace(t, m2, "acc_tb")
+	simtest.CompareTraces(t, interp, compiled)
 }
 
 // TestTracesMatchStructuralReg cross-validates the reg instruction.
@@ -212,8 +164,9 @@ proc @stim (i32$ %q) -> (i1$ %clk, i32$ %d) {
 `
 	m1 := assembly.MustParse("r", src)
 	m2 := assembly.MustParse("r", src)
-	interp, compiled := runBoth(t, m1, m2, "top")
-	compareTraces(t, interp, compiled)
+	interp, _ := simtest.InterpTrace(t, m1, "top")
+	compiled, _ := simtest.BlazeTrace(t, m2, "top")
+	simtest.CompareTraces(t, interp, compiled)
 }
 
 // TestBlazeFunctionCalls checks compiled function invocation including

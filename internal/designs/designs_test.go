@@ -1,15 +1,13 @@
 package designs_test
 
 import (
-	"fmt"
 	"testing"
 
-	"llhd/internal/blaze"
 	"llhd/internal/designs"
-	"llhd/internal/engine"
 	"llhd/internal/ir"
 	"llhd/internal/moore"
 	"llhd/internal/sim"
+	"llhd/internal/simtest"
 )
 
 // TestAllDesignsCompile checks that every Table 2 design maps to valid
@@ -69,44 +67,14 @@ func TestTracesMatchAllDesigns(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Compile: %v", err)
 			}
-			si, err := sim.New(m1, d.Top)
-			if err != nil {
-				t.Fatalf("sim.New: %v", err)
-			}
-			si.Engine.Tracing = true
-			if err := si.Run(ir.Time{}); err != nil {
-				t.Fatalf("interpreter: %v", err)
-			}
-			bz, err := blaze.New(m2, d.Top)
-			if err != nil {
-				t.Fatalf("blaze.New: %v", err)
-			}
-			bz.Engine.Tracing = true
-			if err := bz.Run(ir.Time{}); err != nil {
-				t.Fatalf("blaze: %v", err)
-			}
-			a, b := render(si.Engine), render(bz.Engine)
-			if len(a) != len(b) {
-				t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
-			}
-			for i := range a {
-				if a[i] != b[i] {
-					t.Fatalf("traces diverge at %d:\n  interp:   %s\n  compiled: %s", i, a[i], b[i])
-				}
-			}
-			if si.Engine.Failures != bz.Engine.Failures {
-				t.Errorf("failure counts differ: %d vs %d", si.Engine.Failures, bz.Engine.Failures)
+			a, ei := simtest.InterpTrace(t, m1, d.Top)
+			b, eb := simtest.BlazeTrace(t, m2, d.Top)
+			simtest.CompareTraces(t, a, b)
+			if ei.Failures != eb.Failures {
+				t.Errorf("failure counts differ: %d vs %d", ei.Failures, eb.Failures)
 			}
 		})
 	}
-}
-
-func render(e *engine.Engine) []string {
-	out := make([]string, 0, len(e.Trace))
-	for _, te := range e.Trace {
-		out = append(out, fmt.Sprintf("%v %s=%s", te.Time, te.Sig.Name, te.Value))
-	}
-	return out
 }
 
 func TestByName(t *testing.T) {

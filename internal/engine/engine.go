@@ -95,6 +95,51 @@ type TraceEntry struct {
 	Value val.Value
 }
 
+// Observer receives streamed signal-change notifications. After each time
+// instant the engine delivers exactly one OnChange per signal that changed
+// during the instant, carrying the settled value, in ascending signal-ID
+// order (the same deterministic contract as the wake order, pinned by
+// TestObserverSignalIDOrder). Callbacks run synchronously on the
+// simulation goroutine, before the instant's processes wake.
+//
+// The value is passed without a defensive copy. Observers that retain it
+// beyond the callback must clone kinds with shared backing storage
+// (val.KindLogic, val.KindAgg); scalar ints and times are value types and
+// safe to keep as-is — the same cheap-copy rule Drive applies.
+type Observer interface {
+	OnChange(t ir.Time, sig *Signal, v val.Value)
+}
+
+// obsEntry is one attached observer plus its signal subscription: either
+// every signal (all) or the dense per-signal-ID mask.
+type obsEntry struct {
+	obs  Observer
+	all  bool
+	mask []bool // indexed by Signal.ID; nil when all
+}
+
+// TraceObserver is the buffering compatibility observer: it accumulates
+// every change as a TraceEntry, preserving the retired Engine.Trace shape
+// for trace-diffing tests and tools. Per the Observer retention contract it
+// clones only values with shared backing storage (logic vectors and
+// aggregates); scalar ints and times are stored as-is, so buffering an
+// integer-only run allocates nothing beyond the slice growth (pinned by
+// TestObservedWakeHotPathAllocFree).
+//
+// The buffer grows without bound; long-running simulations should stream
+// through a purpose-built Observer (e.g. internal/vcd) instead.
+type TraceObserver struct {
+	Entries []TraceEntry
+}
+
+// OnChange implements Observer.
+func (o *TraceObserver) OnChange(t ir.Time, sig *Signal, v val.Value) {
+	if v.Kind == val.KindLogic || v.Kind == val.KindAgg {
+		v = v.Clone()
+	}
+	o.Entries = append(o.Entries, TraceEntry{Time: t, Sig: sig, Value: v})
+}
+
 // Engine is the discrete-event simulation kernel. The queue is two-level:
 // a binary heap orders only the distinct future time instants, and each
 // instant owns an append-only bucket of its events. Same-instant
@@ -119,9 +164,14 @@ type Engine struct {
 	changedScratch []*Signal
 	wakeScratch    []ProcID
 
-	// Trace collects signal changes when Tracing is true.
-	Tracing bool
-	Trace   []TraceEntry
+	// Attached observers and their combined subscription. obsAny is the
+	// dense per-signal-ID mask consulted once per changed signal; obsAll
+	// counts observers subscribed to every signal (including signals
+	// registered after Observe). With no observers the wake path pays a
+	// single length check and never allocates.
+	observers []obsEntry
+	obsAny    []bool
+	obsAll    int
 
 	// OnAssert is called for llhd.assert intrinsic failures. The default
 	// records the failure in Failures.
@@ -184,6 +234,50 @@ func (e *Engine) SignalByName(name string) *Signal {
 		}
 	}
 	return e.byName[name]
+}
+
+// Observe attaches an observer. With no signals listed the observer
+// receives every change, including changes of signals registered after the
+// call; otherwise only changes of the listed signals are delivered. See
+// Observer for the delivery contract.
+func (e *Engine) Observe(obs Observer, sigs ...*Signal) {
+	en := obsEntry{obs: obs}
+	if len(sigs) == 0 {
+		en.all = true
+		e.obsAll++
+	} else {
+		// The union mask must cover every signal registered so far, not
+		// just those known at the first masked Observe.
+		en.mask = make([]bool, len(e.signals))
+		for len(e.obsAny) < len(e.signals) {
+			e.obsAny = append(e.obsAny, false)
+		}
+		for _, s := range sigs {
+			if s == nil || s.ID >= len(en.mask) {
+				continue
+			}
+			en.mask[s.ID] = true
+			e.obsAny[s.ID] = true
+		}
+	}
+	e.observers = append(e.observers, en)
+}
+
+// notifyObservers streams the instant's settled changes, in the signal-ID
+// order changed was sorted into. It is kept out of Step's inlineable body:
+// the no-observer hot path pays only the length check at the call site.
+func (e *Engine) notifyObservers(now ir.Time, changed []*Signal) {
+	for _, sig := range changed {
+		if e.obsAll == 0 && (sig.ID >= len(e.obsAny) || !e.obsAny[sig.ID]) {
+			continue
+		}
+		for i := range e.observers {
+			en := &e.observers[i]
+			if en.all || (sig.ID < len(en.mask) && en.mask[sig.ID]) {
+				en.obs.OnChange(now, sig, sig.value)
+			}
+		}
+	}
 }
 
 // AddProcess registers a simulation actor and hands it its ProcID.
@@ -364,9 +458,6 @@ func (e *Engine) Step() bool {
 				sig.changeStamp = e.stamp
 				changed = append(changed, sig)
 			}
-			if e.Tracing {
-				e.Trace = append(e.Trace, TraceEntry{Time: now, Sig: sig, Value: newWhole.Clone()})
-			}
 		}
 	}
 	// Deterministic wake order: sensitivity hits in signal-ID order first,
@@ -383,6 +474,13 @@ func (e *Engine) Step() bool {
 		slices.SortFunc(changed, func(a, b *Signal) int { return a.ID - b.ID })
 	}
 	e.changedScratch = changed
+
+	// Stream the settled changes before any process wakes: observers see
+	// exactly the state the wakes below will react to. One callback per
+	// changed signal per instant, in the signal-ID order established above.
+	if len(e.observers) != 0 {
+		e.notifyObservers(now, changed)
+	}
 
 	toWake := e.wakeScratch[:0]
 	for _, sig := range changed {

@@ -1,7 +1,7 @@
 // Package engine implements the discrete-event simulation kernel shared by
 // the LLHD reference interpreter (internal/sim) and the compiled simulator
 // (internal/blaze): signals, the (time, delta, epsilon) event queue, process
-// scheduling, design elaboration, and change tracing.
+// scheduling, design elaboration, and streaming change observation.
 package engine
 
 import (

@@ -7,6 +7,7 @@ import (
 	"llhd/internal/ir"
 	"llhd/internal/pass"
 	"llhd/internal/sim"
+	"llhd/internal/simtest"
 )
 
 // accWithTB wraps the Figure 5 accumulator in a testbench that pulses the
@@ -103,18 +104,11 @@ func qSequence(t *testing.T, m *ir.Module) []uint64 {
 	if err != nil {
 		t.Fatalf("sim.New: %v", err)
 	}
-	s.Engine.Tracing = true
+	o := simtest.Capture(s.Engine)
 	if err := s.Run(ir.Time{}); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	q := s.Engine.SignalByName("top.q")
-	var seq []uint64
-	for _, te := range s.Engine.Trace {
-		if te.Sig == q {
-			seq = append(seq, te.Value.Bits)
-		}
-	}
-	return seq
+	return simtest.ValueSequence(o, s.Engine.SignalByName("top.q"))
 }
 
 // TestLoweringPreservesBehaviour simulates the accumulator before and

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"llhd/internal/assembly"
+	"llhd/internal/engine"
 	"llhd/internal/ir"
 	"llhd/internal/val"
 )
@@ -376,7 +377,8 @@ proc @stim () -> (i1$ %clk, i1$ %en, i32$ %d) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	s.Engine.Tracing = true
+	obs := &engine.TraceObserver{}
+	s.Engine.Observe(obs)
 	if err := s.Run(ir.Time{}); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -386,7 +388,7 @@ proc @stim () -> (i1$ %clk, i1$ %en, i32$ %d) {
 	}
 	// The first edge was gated off: q must have changed exactly once.
 	changes := 0
-	for _, te := range s.Engine.Trace {
+	for _, te := range obs.Entries {
 		if te.Sig == q {
 			changes++
 		}
@@ -617,13 +619,14 @@ func TestTraceRecordsChanges(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	s.Engine.Tracing = true
+	obs := &engine.TraceObserver{}
+	s.Engine.Observe(obs)
 	if err := s.Run(ir.Time{}); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	clk := s.Engine.SignalByName("top.clk")
 	edges := 0
-	for _, te := range s.Engine.Trace {
+	for _, te := range obs.Entries {
 		if te.Sig == clk {
 			edges++
 		}
@@ -631,9 +634,9 @@ func TestTraceRecordsChanges(t *testing.T) {
 	if edges != 40 {
 		t.Errorf("clk changed %d times, want 40 (20 cycles)", edges)
 	}
-	// Trace must be time-ordered.
-	for i := 1; i < len(s.Engine.Trace); i++ {
-		if s.Engine.Trace[i].Time.Before(s.Engine.Trace[i-1].Time) {
+	// The buffered trace must be time-ordered.
+	for i := 1; i < len(obs.Entries); i++ {
+		if obs.Entries[i].Time.Before(obs.Entries[i-1].Time) {
 			t.Fatalf("trace out of order at %d", i)
 		}
 	}

@@ -1,0 +1,94 @@
+// Package simtest holds the shared trace-capture helpers behind the
+// cross-engine equivalence tests (the paper's §6.1 methodology: simulate
+// the same design on several engines and require identical signal-change
+// traces). It is built on the kernel's buffering engine.TraceObserver and
+// replaces the trace-comparison helpers that used to be copy-pasted into
+// the blaze, designs, and pass test packages.
+package simtest
+
+import (
+	"fmt"
+	"testing"
+
+	"llhd/internal/blaze"
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/sim"
+)
+
+// Capture attaches a fresh buffering observer to the engine, subscribed to
+// every signal, and returns it. Call before the simulation runs.
+func Capture(e *engine.Engine) *engine.TraceObserver {
+	o := &engine.TraceObserver{}
+	e.Observe(o)
+	return o
+}
+
+// Strings renders buffered entries in the canonical comparison form
+// "time name=value", one string per change.
+func Strings(o *engine.TraceObserver) []string {
+	out := make([]string, 0, len(o.Entries))
+	for _, te := range o.Entries {
+		out = append(out, fmt.Sprintf("%v %s=%s", te.Time, te.Sig.Name, te.Value))
+	}
+	return out
+}
+
+// InterpTrace runs the module on the reference interpreter with a
+// buffering observer attached and returns the rendered trace plus the
+// engine (for failure counts and signal lookups).
+func InterpTrace(t testing.TB, m *ir.Module, top string) ([]string, *engine.Engine) {
+	t.Helper()
+	s, err := sim.New(m, top)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	o := Capture(s.Engine)
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("interpreter run: %v", err)
+	}
+	return Strings(o), s.Engine
+}
+
+// BlazeTrace is InterpTrace's counterpart for the compiled simulator.
+func BlazeTrace(t testing.TB, m *ir.Module, top string) ([]string, *engine.Engine) {
+	t.Helper()
+	s, err := blaze.New(m, top)
+	if err != nil {
+		t.Fatalf("blaze.New: %v", err)
+	}
+	o := Capture(s.Engine)
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("blaze run: %v", err)
+	}
+	return Strings(o), s.Engine
+}
+
+// CompareTraces fails the test unless the reference trace is non-empty and
+// both traces are identical, reporting the first divergence.
+func CompareTraces(t testing.TB, interp, compiled []string) {
+	t.Helper()
+	if len(interp) == 0 {
+		t.Fatal("interpreter trace is empty")
+	}
+	if len(interp) != len(compiled) {
+		t.Fatalf("trace lengths differ: interpreter %d vs compiled %d", len(interp), len(compiled))
+	}
+	for i := range interp {
+		if interp[i] != compiled[i] {
+			t.Fatalf("traces diverge at %d:\n  interp:   %s\n  compiled: %s", i, interp[i], compiled[i])
+		}
+	}
+}
+
+// ValueSequence extracts the successive integer values one signal took, in
+// change order, from a buffered trace.
+func ValueSequence(o *engine.TraceObserver, sig *engine.Signal) []uint64 {
+	var seq []uint64
+	for _, te := range o.Entries {
+		if te.Sig == sig {
+			seq = append(seq, te.Value.Bits)
+		}
+	}
+	return seq
+}

@@ -50,11 +50,17 @@ func New(src, top string) (*Simulator, error) {
 func (s *Simulator) Run(limit ir.Time) error {
 	s.Engine.Init()
 	s.Engine.Run(limit)
-	// Shut down coroutine processes so goroutines do not leak.
+	s.Shutdown()
+	return s.Engine.Err()
+}
+
+// Shutdown terminates the coroutine processes so their goroutines do not
+// leak. It is idempotent and must be called once a simulation driven
+// through the engine directly (stepped execution) is finished.
+func (s *Simulator) Shutdown() {
 	for _, p := range s.procs {
 		p.shutdown()
 	}
-	return s.Engine.Err()
 }
 
 // scope is the per-instance elaboration context.

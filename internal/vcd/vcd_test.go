@@ -1,0 +1,115 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/logic"
+	"llhd/internal/val"
+)
+
+// driverProc schedules a fixed list of drives at Init and never wakes.
+type driverProc struct {
+	engine.ProcHandle
+	drives func(e *engine.Engine)
+}
+
+func (p *driverProc) Name() string          { return "driver" }
+func (p *driverProc) Init(e *engine.Engine) { p.drives(e) }
+func (p *driverProc) Wake(e *engine.Engine) {}
+
+func TestHeaderScopesAndDump(t *testing.T) {
+	e := engine.New()
+	clk := e.NewSignal("tb.clk", ir.IntType(1), val.Int(1, 0))
+	e.NewSignal("tb.dut_1.q", ir.IntType(8), val.Int(8, 5))
+	e.NewSignal("tb.t", ir.TimeType(), val.TimeVal(ir.Time{})) // unrepresentable: skipped
+	var sb strings.Builder
+	w := NewWriter(&sb, e)
+	e.Observe(w, Signals(e)...)
+	e.AddProcess(&driverProc{drives: func(e *engine.Engine) {
+		e.Drive(engine.SigRef{Sig: clk}, val.Int(1, 1), ir.Nanoseconds(2))
+	}}, true)
+	e.Init()
+	e.Run(ir.Time{})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1fs $end",
+		"$scope module tb $end",
+		"$var wire 1 ! clk $end",
+		"$scope module dut_1 $end",
+		"$var wire 8 \" q $end",
+		"$enddefinitions $end",
+		"#0\n$dumpvars\n0!\nb00000101 \"\n$end",
+		"#2000000\n1!",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "tb.t") || strings.Contains(out, " t $end") {
+		t.Errorf("time-typed signal must be skipped:\n%s", out)
+	}
+}
+
+func TestLogicRendering(t *testing.T) {
+	v, err := logic.ParseVector("1Z0XUH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bits(val.LogicVal(v), 6); got != "1z0xx1" {
+		t.Errorf("bits = %q, want 1z0xx1", got)
+	}
+}
+
+func TestIDCode(t *testing.T) {
+	if got := idCode(0); got != "!" {
+		t.Errorf("idCode(0) = %q", got)
+	}
+	if got := idCode(93); got != "~" {
+		t.Errorf("idCode(93) = %q", got)
+	}
+	if got := idCode(94); got != "!!" {
+		t.Errorf("idCode(94) = %q", got)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("idCode collision at %d: %q", i, c)
+		}
+		seen[c] = true
+	}
+}
+
+// TestDeltaInstantsShareTimestamp checks that changes in later delta steps
+// of the same femtosecond reuse the open #t stamp instead of emitting a
+// duplicate.
+func TestDeltaInstantsShareTimestamp(t *testing.T) {
+	e := engine.New()
+	s := e.NewSignal("s", ir.IntType(8), val.Int(8, 0))
+	var sb strings.Builder
+	w := NewWriter(&sb, e)
+	e.Observe(w, Signals(e)...)
+	e.Init()
+	// Two changes at 1ns in consecutive delta steps.
+	e.Drive(engine.SigRef{Sig: s}, val.Int(8, 1), ir.Nanoseconds(1))
+	e.Step()
+	e.Drive(engine.SigRef{Sig: s}, val.Int(8, 2), ir.Time{}) // next delta, same fs
+	for e.Step() {
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "#1000000\n") != 1 {
+		t.Errorf("timestamp #1000000 must appear exactly once:\n%s", out)
+	}
+	if !strings.Contains(out, "b00000001 !\nb00000010 !") {
+		t.Errorf("both delta values must be dumped under one stamp:\n%s", out)
+	}
+}

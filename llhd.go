@@ -1,16 +1,33 @@
 // Package llhd is the public facade of the LLHD reproduction: a
 // multi-level intermediate representation for hardware description
 // languages (Schuiki et al., PLDI 2020), with a SystemVerilog frontend
-// (Moore), a reference interpreter (LLHD-Sim), a compiled simulator
-// (LLHD-Blaze), and the behavioural-to-structural lowering passes.
+// (Moore), the behavioural-to-structural lowering passes, and three
+// simulation engines behind one Session API — the reference interpreter
+// (LLHD-Sim), the compiled simulator (LLHD-Blaze), and an AST-level
+// SystemVerilog engine (the commercial substitute of Table 2).
 //
-// Typical use:
+// Building IR:
 //
 //	m, err := llhd.CompileSystemVerilog("design", src) // Moore frontend
 //	m, err := llhd.ParseAssembly("design", text)       // .llhd text
 //	err = llhd.Lower(m)                                // §4 lowering
-//	sim, err := llhd.NewInterpreter(m, "top_tb")       // LLHD-Sim
-//	sim, err := llhd.NewCompiled(m, "top_tb")          // LLHD-Blaze
+//
+// Simulating — one entry point for every engine and workload:
+//
+//	s, err := llhd.NewSession(
+//	    llhd.FromModule(m),          // or llhd.FromSystemVerilog(src)
+//	    llhd.Top("top_tb"),
+//	    llhd.Backend(llhd.Interp),   // llhd.Blaze | llhd.SVSim
+//	    llhd.WithVCD(waveFile),      // optional: stream a VCD waveform
+//	)
+//	err = s.Run()                    // or s.RunUntil(t), or s.Step()
+//	v, ok := s.Probe("top_tb.q")
+//	stats := s.Finish()              // delta steps, events, assertions
+//
+// Signal observation streams through the Observer interface (one callback
+// per changed signal per instant, deterministic signal-ID order) in
+// bounded memory; TraceObserver buffers a full trace when a diffable
+// history is wanted.
 package llhd
 
 import (
@@ -18,11 +35,9 @@ import (
 
 	"llhd/internal/assembly"
 	"llhd/internal/bitcode"
-	"llhd/internal/blaze"
 	"llhd/internal/ir"
 	"llhd/internal/moore"
 	"llhd/internal/pass"
-	"llhd/internal/sim"
 )
 
 // Module is an LLHD module: a collection of functions, processes, and
@@ -89,23 +104,4 @@ func LevelOf(m *Module) Level {
 // use Verify(m, Structural) to require full lowering.
 func Lower(m *Module) error {
 	return pass.LoweringPipeline().RunFixpoint(m, 8)
-}
-
-// Simulator is the common view of both simulation engines.
-type Simulator interface {
-	// Run initializes and simulates until the queue drains or physical
-	// time exceeds limit (zero limit: unbounded).
-	Run(limit Time) error
-}
-
-// NewInterpreter elaborates the design under the named top unit on the
-// reference interpreter (LLHD-Sim).
-func NewInterpreter(m *Module, top string) (*sim.Simulator, error) {
-	return sim.New(m, top)
-}
-
-// NewCompiled elaborates the design on the closure-compiled simulator
-// (the LLHD-Blaze analog).
-func NewCompiled(m *Module, top string) (*blaze.Simulator, error) {
-	return blaze.New(m, top)
 }

@@ -1,0 +1,399 @@
+package llhd
+
+import (
+	"fmt"
+	"io"
+
+	"llhd/internal/blaze"
+	"llhd/internal/engine"
+	"llhd/internal/ir"
+	"llhd/internal/moore"
+	"llhd/internal/sim"
+	"llhd/internal/svsim"
+	"llhd/internal/val"
+	"llhd/internal/vcd"
+)
+
+// Value is a runtime signal value (integer, time, nine-valued logic
+// vector, or aggregate).
+type Value = val.Value
+
+// Signal is one elaborated signal net, identified by its hierarchical
+// path name (e.g. "acc_tb.q").
+type Signal = engine.Signal
+
+// Observer receives streamed signal-change notifications: exactly one
+// OnChange per changed signal per time instant, carrying the settled
+// value, in deterministic signal-ID order. See engine.Observer for the
+// retention contract (clone logic/aggregate values before keeping them).
+type Observer = engine.Observer
+
+// TraceEntry is one buffered signal change.
+type TraceEntry = engine.TraceEntry
+
+// TraceObserver is the buffering observer: it accumulates every change in
+// memory. Prefer a streaming Observer (or WithVCD) for long runs.
+type TraceObserver = engine.TraceObserver
+
+// EngineKind selects the simulation engine a Session runs on.
+type EngineKind int
+
+// The three engines of the paper's §6.1 evaluation.
+const (
+	// Interp is the reference interpreter (LLHD-Sim): a tree-walking
+	// interpreter over the IR.
+	Interp EngineKind = iota
+	// Blaze is the compiled simulator (the LLHD-Blaze analog): units are
+	// compiled ahead of time to closure arrays over flat register files.
+	Blaze
+	// SVSim is the AST-level SystemVerilog simulator (the commercial
+	// substitute of Table 2): it executes the source directly, with no
+	// LLHD IR in between, and requires FromSystemVerilog input.
+	SVSim
+)
+
+// String names the engine as in Table 2.
+func (k EngineKind) String() string {
+	switch k {
+	case Interp:
+		return "interp"
+	case Blaze:
+		return "blaze"
+	case SVSim:
+		return "svsim"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// ParseEngineKind reads the CLI spelling of an engine name.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "interp", "int", "sim":
+		return Interp, nil
+	case "blaze":
+		return Blaze, nil
+	case "svsim", "sv":
+		return SVSim, nil
+	}
+	return Interp, fmt.Errorf("llhd: unknown engine %q (want interp, blaze, or svsim)", s)
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*sessionConfig)
+
+type observerSub struct {
+	obs   Observer
+	paths []string
+}
+
+type sessionConfig struct {
+	module    *Module
+	source    string
+	hasSource bool
+	top       string
+	backend   EngineKind
+	observers []observerSub
+	vcdOuts   []io.Writer
+	display   func(string)
+	onAssert  func(name string, t Time)
+}
+
+// FromModule simulates an already-built LLHD module (parsed assembly,
+// decoded bitcode, or a previous CompileSystemVerilog result). Not valid
+// with Backend(SVSim), which needs the SystemVerilog source.
+func FromModule(m *Module) SessionOption {
+	return func(c *sessionConfig) { c.module = m }
+}
+
+// FromSystemVerilog simulates SystemVerilog source. The Interp and Blaze
+// engines compile it to LLHD through the Moore frontend; SVSim executes
+// the source AST directly.
+func FromSystemVerilog(src string) SessionOption {
+	return func(c *sessionConfig) { c.source = src; c.hasSource = true }
+}
+
+// Top names the top unit (LLHD) or module (SystemVerilog) to elaborate.
+// When omitted on module input, the last entity in the module is used.
+func Top(name string) SessionOption {
+	return func(c *sessionConfig) { c.top = name }
+}
+
+// Backend selects the simulation engine; the default is Interp.
+func Backend(k EngineKind) SessionOption {
+	return func(c *sessionConfig) { c.backend = k }
+}
+
+// WithObserver attaches a streaming observer. With no paths it receives
+// every signal change; otherwise only changes of the named signals
+// (hierarchical paths, resolved after elaboration — unknown paths are an
+// error from NewSession).
+func WithObserver(obs Observer, paths ...string) SessionOption {
+	return func(c *sessionConfig) {
+		c.observers = append(c.observers, observerSub{obs: obs, paths: paths})
+	}
+}
+
+// WithVCD streams the simulation as a Value Change Dump waveform to w.
+// The header is written during NewSession; the stream is flushed by Run,
+// RunUntil, and Finish. The caller owns (and closes) w.
+func WithVCD(w io.Writer) SessionOption {
+	return func(c *sessionConfig) { c.vcdOuts = append(c.vcdOuts, w) }
+}
+
+// WithDisplay routes $display/llhd.display output to f; the default
+// discards it.
+func WithDisplay(f func(string)) SessionOption {
+	return func(c *sessionConfig) { c.display = f }
+}
+
+// WithAssertHandler replaces the default assertion-failure handling
+// (counting into Finish.AssertionFailures) with f.
+func WithAssertHandler(f func(name string, t Time)) SessionOption {
+	return func(c *sessionConfig) { c.onAssert = f }
+}
+
+// Finish is the final statistics of a simulation session.
+type Finish struct {
+	// Now is the simulation time the session stopped at.
+	Now Time
+	// DeltaSteps counts executed time instants (delta cycles included).
+	DeltaSteps int
+	// Events counts applied queue events (drives and timeout wakes).
+	Events int
+	// AssertionFailures counts failed llhd.assert / SV assert checks.
+	AssertionFailures int
+}
+
+// Session is the single entry point for running and observing a
+// simulation, engine-agnostically: the same object drives the reference
+// interpreter, the compiled simulator, and the AST-level SystemVerilog
+// engine. Construct it with NewSession, then either batch-run (Run,
+// RunUntil) or single-step (Step), probe signals at any point, and call
+// Finish to collect statistics and release engine resources.
+//
+// A Session is not safe for concurrent use.
+type Session struct {
+	eng     *engine.Engine
+	kind    EngineKind
+	top     string
+	sv      *svsim.Simulator // SVSim backend, for coroutine shutdown
+	vcd     []flusher
+	inited  bool
+	stopped bool
+	err     error // first deferred error (e.g. a VCD flush in Finish)
+}
+
+type flusher interface{ Flush() error }
+
+// NewSession elaborates a design on the selected engine and returns the
+// session handle. Exactly one of FromModule or FromSystemVerilog must be
+// given.
+func NewSession(opts ...SessionOption) (*Session, error) {
+	var cfg sessionConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.module == nil && !cfg.hasSource {
+		return nil, fmt.Errorf("llhd: NewSession needs FromModule or FromSystemVerilog")
+	}
+	if cfg.module != nil && cfg.hasSource {
+		return nil, fmt.Errorf("llhd: FromModule and FromSystemVerilog are mutually exclusive")
+	}
+
+	s := &Session{kind: cfg.backend}
+	switch cfg.backend {
+	case SVSim:
+		if !cfg.hasSource {
+			return nil, fmt.Errorf("llhd: the svsim engine executes SystemVerilog directly; use FromSystemVerilog")
+		}
+		if cfg.top == "" {
+			return nil, fmt.Errorf("llhd: the svsim engine needs Top(module)")
+		}
+		sv, err := svsim.New(cfg.source, cfg.top)
+		if err != nil {
+			return nil, err
+		}
+		s.sv, s.eng, s.top = sv, sv.Engine, cfg.top
+
+	case Interp, Blaze:
+		m := cfg.module
+		if m == nil {
+			var err error
+			m, err = moore.Compile("design", cfg.source)
+			if err != nil {
+				return nil, err
+			}
+		}
+		top := cfg.top
+		if top == "" {
+			for _, u := range m.Units {
+				if u.Kind == ir.UnitEntity {
+					top = u.Name
+				}
+			}
+			if top == "" {
+				return nil, fmt.Errorf("llhd: module has no entity; pass Top(name)")
+			}
+		}
+		s.top = top
+		switch cfg.backend {
+		case Interp:
+			si, err := sim.New(m, top)
+			if err != nil {
+				return nil, err
+			}
+			s.eng = si.Engine
+		case Blaze:
+			bz, err := blaze.New(m, top)
+			if err != nil {
+				return nil, err
+			}
+			s.eng = bz.Engine
+		}
+
+	default:
+		return nil, fmt.Errorf("llhd: unknown engine %d", int(cfg.backend))
+	}
+
+	if cfg.display != nil {
+		s.eng.Display = cfg.display
+	}
+	if cfg.onAssert != nil {
+		s.eng.OnAssert = cfg.onAssert
+	}
+	for _, sub := range cfg.observers {
+		if len(sub.paths) == 0 {
+			s.eng.Observe(sub.obs)
+			continue
+		}
+		sigs := make([]*Signal, 0, len(sub.paths))
+		for _, p := range sub.paths {
+			sig := s.eng.SignalByName(p)
+			if sig == nil {
+				return nil, fmt.Errorf("llhd: WithObserver: no signal %q in the elaborated design", p)
+			}
+			sigs = append(sigs, sig)
+		}
+		s.eng.Observe(sub.obs, sigs...)
+	}
+	if err := s.attachVCD(cfg.vcdOuts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// init runs every process to its first suspension, exactly once.
+func (s *Session) init() {
+	if !s.inited {
+		s.inited = true
+		s.eng.Init()
+	}
+}
+
+// Run simulates until the event queue drains, then flushes attached VCD
+// streams. It returns the first runtime or write error.
+func (s *Session) Run() error { return s.RunUntil(Time{}) }
+
+// RunUntil simulates until the event queue drains or physical time would
+// exceed the limit (zero limit: unbounded). Events beyond the limit stay
+// queued, so alternating RunUntil and Probe implements co-simulation
+// against an external model.
+func (s *Session) RunUntil(limit Time) error {
+	s.init()
+	s.eng.Run(limit)
+	if err := s.eng.Err(); err != nil {
+		return err
+	}
+	return s.flushVCD()
+}
+
+// Step executes a single time instant (one (fs, delta, eps) point) and
+// reports whether any scheduled work remains. The first call also runs
+// the time-zero initialization.
+func (s *Session) Step() (more bool, err error) {
+	s.init()
+	more = s.eng.Step()
+	return more, s.eng.Err()
+}
+
+// Now returns the current simulation time.
+func (s *Session) Now() Time { return s.eng.Now }
+
+// Err returns the first error the session encountered: a runtime error
+// from the engine, or a deferred output error (such as a VCD write
+// failure flushed by Finish). Run, RunUntil, and Step return errors as
+// they happen; Err is the catch-all for stepped sessions that only learn
+// of output failures at Finish.
+func (s *Session) Err() error {
+	if err := s.eng.Err(); err != nil {
+		return err
+	}
+	return s.err
+}
+
+// Probe looks up a signal by hierarchical path name (e.g. "acc_tb.q") and
+// returns its current value. The boolean reports whether the signal
+// exists.
+func (s *Session) Probe(path string) (Value, bool) {
+	sig := s.eng.SignalByName(path)
+	if sig == nil {
+		return Value{}, false
+	}
+	return sig.Value(), true
+}
+
+// Signals returns all elaborated signals in creation order, for tooling
+// that enumerates the design instead of probing known paths.
+func (s *Session) Signals() []*Signal { return s.eng.Signals() }
+
+// Pending reports the number of scheduled-but-unapplied events.
+func (s *Session) Pending() int { return s.eng.PendingEvents() }
+
+// Finish releases engine resources (coroutine processes, buffered VCD
+// output) and returns the final statistics. It is idempotent; the session
+// must not be stepped afterwards. A VCD flush failure during Finish is
+// reported by Err — relevant for stepped-only sessions, whose Step calls
+// never flush.
+func (s *Session) Finish() Finish {
+	if !s.stopped {
+		s.stopped = true
+		if s.sv != nil {
+			s.sv.Shutdown()
+		}
+		if err := s.flushVCD(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return Finish{
+		Now:               s.eng.Now,
+		DeltaSteps:        s.eng.DeltaCount,
+		Events:            s.eng.EventCount,
+		AssertionFailures: s.eng.Failures,
+	}
+}
+
+// attachVCD wires one vcd.Writer per output. Each writer emits its header
+// and time-zero dump immediately and subscribes only to VCD-representable
+// signals, so unrepresentable nets cost nothing at runtime.
+func (s *Session) attachVCD(outs []io.Writer) error {
+	for _, w := range outs {
+		vw := vcd.NewWriter(w, s.eng)
+		if sigs := vcd.Signals(s.eng); len(sigs) > 0 {
+			s.eng.Observe(vw, sigs...)
+		}
+		s.vcd = append(s.vcd, vw)
+		if err := vw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) flushVCD() error {
+	for _, f := range s.vcd {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
