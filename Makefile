@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench bench-kernel bench-table2
+.PHONY: check build vet test test-race bench bench-kernel bench-table2 bench-farm
 
 # check is the tier-1 verification: the build, go vet, and the full test
 # suite must all pass.
@@ -15,10 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# test-race runs the kernel, reference-interpreter, and svsim suites
-# under the race detector (observer dispatch, slot pooling, and the
-# svsim coroutine handoff).
+# test-race runs the concurrency-exposed suites under the race detector:
+# the root package (session farm, 16 concurrent sessions per backend over
+# one frozen design, concurrent VCD writers), the kernel, the reference
+# interpreter, and svsim (coroutine handoff).
 test-race:
+	$(GO) test -race -run 'TestConcurrent|TestFarm|TestSession|TestUnfrozen' .
 	$(GO) test -race ./internal/engine ./internal/sim ./internal/svsim
 
 # bench regenerates the paper's evaluation benchmarks (Table 2/4, Figure 5).
@@ -35,3 +37,10 @@ bench-kernel:
 bench-table2:
 	$(GO) test -bench BenchmarkTable2 -benchmem -run xxx .
 	$(GO) run ./cmd/llhd-bench -table 2 -json BENCH_TABLE2.json
+
+# bench-farm measures concurrent session-farm throughput (sims/sec over
+# the Table 2 designs at -j 1/4/8, shared frozen designs) and records the
+# machine-readable artifact.
+bench-farm:
+	$(GO) test -bench BenchmarkFarmThroughput -benchmem -run xxx .
+	$(GO) run ./cmd/llhd-bench -farm -json BENCH_FARM.json

@@ -8,7 +8,10 @@
 package llhd_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
+	"time"
 
 	"llhd"
 	"llhd/internal/bench"
@@ -126,6 +129,53 @@ func BenchmarkFigure5Lowering(b *testing.B) {
 		}
 		if err := pass.LoweringPipeline().RunFixpoint(m, 8); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFarmThroughput measures concurrent session throughput
+// (sims/sec) through llhd.Farm at -j 1, 4, and 8 workers: one op is a
+// full sweep of the Table 2 designs on the interpreter and the compiled
+// engine, all sessions sharing one frozen module and one sealed
+// CompiledDesign per design. On a multi-core host the -j 8 sims/sec
+// should scale near-linearly over -j 1 — all cross-session state is
+// frozen read-only, so the workers never contend on a lock.
+func BenchmarkFarmThroughput(b *testing.B) {
+	jobs, err := bench.FarmJobs(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			farm := llhd.Farm{Workers: workers}
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := farm.Run(context.Background(), jobs...)
+				if err := bench.CheckFarmResults(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sims := float64(b.N * len(jobs))
+			b.ReportMetric(sims/time.Since(start).Seconds(), "sims/sec")
+		})
+	}
+}
+
+// TestFarmBenchSmoke runs the farm throughput measurement once at -j 1
+// and -j 2 and checks that every session completed cleanly.
+func TestFarmBenchSmoke(t *testing.T) {
+	rows, err := bench.RunFarmBench([]int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sims != 20 || r.SimsPerSec <= 0 {
+			t.Errorf("degenerate row: %+v", r)
 		}
 	}
 }

@@ -9,15 +9,18 @@
 //	llhd-bench                              # all tables
 //	llhd-bench -table 2                     # one table
 //	llhd-bench -table 2 -json results.json  # + machine-readable Table 2
+//	llhd-bench -farm -json BENCH_FARM.json  # session-farm throughput
 //
-// The -json flag writes the Table 2 measurements (name, ns/op, allocs/op
-// per engine) as a JSON artifact ("-" for stdout), so benchmark
+// The -json flag writes the measurements as a JSON artifact ("-" for
+// stdout) — Table 2 ns/op+allocs/op per engine by default, or the farm
+// throughput rows (sims/sec at -j 1/4/8) with -farm — so benchmark
 // trajectories can be recorded across revisions.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"llhd/internal/bench"
@@ -25,8 +28,26 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "table to regenerate (2, 3, or 4); 0 = all")
-	jsonPath := flag.String("json", "", "write Table 2 results as JSON to this path (\"-\" = stdout)")
+	jsonPath := flag.String("json", "", "write results as JSON to this path (\"-\" = stdout)")
+	farm := flag.Bool("farm", false, "benchmark concurrent session-farm throughput (sims/sec at -j 1/4/8) instead of the tables")
+	sweeps := flag.Int("sweeps", 5, "farm benchmark: repetitions of the Table 2 design sweep per worker count")
 	flag.Parse()
+
+	if *farm {
+		rows, err := bench.RunFarmBench([]int{1, 4, 8}, *sweeps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFarmBench(os.Stdout, rows)
+		if *jsonPath != "" {
+			if err := writeOut(*jsonPath, func(w io.Writer) error {
+				return bench.WriteFarmJSON(w, rows)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 
 	if *table == 0 || *table == 2 {
 		rows, err := bench.RunTable2()
@@ -57,14 +78,21 @@ func main() {
 }
 
 func writeJSON(path string, rows []bench.Table2Row) error {
+	return writeOut(path, func(w io.Writer) error {
+		return bench.WriteTable2JSON(w, rows)
+	})
+}
+
+// writeOut writes an artifact to path ("-" = stdout).
+func writeOut(path string, emit func(io.Writer) error) error {
 	if path == "-" {
-		return bench.WriteTable2JSON(os.Stdout, rows)
+		return emit(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := bench.WriteTable2JSON(f, rows); err != nil {
+	if err := emit(f); err != nil {
 		f.Close()
 		return err
 	}

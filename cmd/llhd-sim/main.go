@@ -7,16 +7,23 @@
 // Usage:
 //
 //	llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us]
-//	         [-vcd out.vcd] [-trace] design.{llhd,bc,sv}
+//	         [-vcd out.vcd] [-trace] [-j N] design.{llhd,bc,sv}
+//
+// With -j N the design is run as a concurrent sweep: N independent
+// sessions over one shared frozen design (one blaze compile, N register
+// files), reporting aggregate throughput — the smallest deployment of the
+// llhd.Farm. -trace and -vcd apply to single sessions only.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"llhd"
 	"llhd/internal/ir"
@@ -28,10 +35,14 @@ func main() {
 	limit := flag.String("t", "", "simulation time limit, e.g. 100us (default: run to quiescence)")
 	trace := flag.Bool("trace", false, "stream every signal change to stdout")
 	vcdPath := flag.String("vcd", "", "write the waveform as VCD to this file")
+	jobs := flag.Int("j", 1, "run N concurrent sessions over one shared frozen design (sweep mode)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us] [-vcd out.vcd] [-trace] design.{llhd,bc,sv}")
+		fmt.Fprintln(os.Stderr, "usage: llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us] [-vcd out.vcd] [-trace] [-j N] design.{llhd,bc,sv}")
 		os.Exit(2)
+	}
+	if *jobs > 1 && (*trace || *vcdPath != "") {
+		fatal(fmt.Errorf("-j %d is a throughput sweep; -trace and -vcd need a single session", *jobs))
 	}
 	kind, err := llhd.ParseEngineKind(*engineName)
 	if err != nil {
@@ -87,6 +98,11 @@ func main() {
 		opts = append(opts, llhd.FromModule(m))
 	}
 
+	if *jobs > 1 {
+		runSweep(*jobs, limitTime, opts)
+		return
+	}
+
 	if *trace {
 		opts = append(opts, llhd.WithObserver(printObserver{}))
 	}
@@ -120,6 +136,34 @@ func main() {
 	fmt.Printf("simulation finished at %v: %d delta steps, %d events, %d assertion failures\n",
 		st.Now, st.DeltaSteps, st.Events, st.AssertionFailures)
 	if st.AssertionFailures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSweep fans n identical sessions across the farm's worker pool. The
+// farm freezes the design (and compiles it once for blaze) before the
+// fan-out, so the n sessions share all static artifacts.
+func runSweep(n int, limit llhd.Time, opts []llhd.SessionOption) {
+	farmJobs := make([]llhd.FarmJob, n)
+	for i := range farmJobs {
+		farmJobs[i] = llhd.FarmJob{Name: fmt.Sprintf("session-%d", i), Options: opts, Until: limit}
+	}
+	var farm llhd.Farm
+	t0 := time.Now()
+	results := farm.Run(context.Background(), farmJobs...)
+	secs := time.Since(t0).Seconds()
+	failures := 0
+	for _, r := range results {
+		if r.Err != nil {
+			fatal(fmt.Errorf("%s: %w", r.Name, r.Err))
+		}
+		failures += r.Stats.AssertionFailures
+	}
+	st := results[0].Stats
+	fmt.Printf("%d sessions finished at %v: %d delta steps each, %d total assertion failures\n",
+		n, st.Now, st.DeltaSteps, failures)
+	fmt.Printf("sweep took %.3fs: %.1f sims/sec\n", secs, float64(n)/secs)
+	if failures > 0 {
 		os.Exit(1)
 	}
 }

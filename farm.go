@@ -1,0 +1,170 @@
+package llhd
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// FarmJob is one simulation to run: a session configuration (the same
+// options NewSession takes) plus an optional time limit. Jobs that share a
+// design should share it explicitly — the same *Module via FromModule, the
+// same *CompiledDesign via FromCompiled, or the same source string via
+// FromSystemVerilog; the farm then runs them concurrently over one frozen
+// copy instead of N private ones.
+type FarmJob struct {
+	// Name labels the job in its FarmResult; purely informational.
+	Name string
+	// Options configure the session, exactly as for NewSession.
+	Options []SessionOption
+	// Until bounds the run like Session.RunUntil; the zero Time runs the
+	// simulation to quiescence.
+	Until Time
+}
+
+// FarmResult is the outcome of one FarmJob.
+type FarmResult struct {
+	// Name and Index identify the job (Index is its position in the Run
+	// call's job list).
+	Name  string
+	Index int
+	// Stats carries the session's final statistics; valid when Err is nil.
+	Stats Finish
+	// Err is the first error of the job: session construction, runtime,
+	// deferred output (VCD flush), or context cancellation.
+	Err error
+}
+
+// Farm runs many independent simulation sessions concurrently over shared,
+// frozen designs — the "one IR, many consumers" deployment shape: N
+// parallel stimulus/backend/run-length configurations against a single
+// in-memory design, for throughput (parameter sweeps, regression farms)
+// or for cross-engine differential testing.
+//
+// Before any worker starts, Run prepares the shared artifacts serially:
+// every module referenced by a job is frozen (Module.Freeze — structural
+// mutation afterwards panics), and blaze jobs over a module are compiled
+// once per distinct (module, top) pair into a shared CompiledDesign. After
+// that preparation all cross-session state is immutable, so the fan-out
+// takes no locks anywhere on a simulation path: each session owns its
+// engine, frames, register files, and observers outright.
+//
+// The zero Farm is ready to use.
+type Farm struct {
+	// Workers caps the number of concurrently running sessions. Zero or
+	// negative means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the jobs across the worker pool and returns one result per
+// job, in job order. It returns when every job has finished or the context
+// is cancelled; cancellation is checked between instant batches, so
+// long-running simulations stop promptly with ctx.Err() recorded in their
+// result. A nil ctx runs without cancellation.
+func (f *Farm) Run(ctx context.Context, jobs ...FarmJob) []FarmResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]FarmResult, len(jobs))
+	cfgs := make([]*sessionConfig, len(jobs))
+
+	// Serial preparation: freeze shared modules, compile blaze designs
+	// once per (module, top). This is the only phase that writes to
+	// cross-session state.
+	type designKey struct {
+		m   *Module
+		top string
+	}
+	compiledCache := map[designKey]*CompiledDesign{}
+	for i := range jobs {
+		results[i] = FarmResult{Name: jobs[i].Name, Index: i}
+		cfg := &sessionConfig{}
+		for _, opt := range jobs[i].Options {
+			opt(cfg)
+		}
+		if cfg.module != nil {
+			cfg.module.Freeze()
+		}
+		if cfg.backend == Blaze && cfg.module != nil && cfg.compiled == nil {
+			top := cfg.top
+			if top == "" {
+				top = defaultTop(cfg.module)
+			}
+			if top == "" {
+				results[i].Err = fmt.Errorf("llhd: farm job %d: module has no entity; pass Top(name)", i)
+				continue
+			}
+			key := designKey{cfg.module, top}
+			cd, ok := compiledCache[key]
+			if !ok {
+				var err error
+				cd, err = CompileBlaze(cfg.module, top)
+				if err != nil {
+					results[i].Err = fmt.Errorf("llhd: farm job %d: %w", i, err)
+					continue
+				}
+				compiledCache[key] = cd
+			}
+			cfg.compiled, cfg.module = cd, nil
+		}
+		cfgs[i] = cfg
+	}
+
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i].Stats, results[i].Err = runFarmJob(ctx, cfgs[i], jobs[i].Until)
+			}
+		}()
+	}
+	for i := range jobs {
+		if cfgs[i] == nil || results[i].Err != nil {
+			continue // failed during preparation
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runFarmJob builds and runs one session, checking for cancellation
+// between batches of simulated instants.
+func runFarmJob(ctx context.Context, cfg *sessionConfig, until Time) (Finish, error) {
+	if err := ctx.Err(); err != nil {
+		return Finish{}, err
+	}
+	s, err := newSession(cfg)
+	if err != nil {
+		return Finish{}, err
+	}
+	// Batch size trades cancellation latency against per-batch overhead;
+	// 4096 instants keep both negligible.
+	const batch = 4096
+	s.init()
+	for s.eng.RunBudget(until, batch) {
+		if err := ctx.Err(); err != nil {
+			s.Finish()
+			return Finish{}, err
+		}
+	}
+	if err := s.eng.Err(); err != nil {
+		s.Finish()
+		return Finish{}, err
+	}
+	stats := s.Finish()
+	return stats, s.Err()
+}

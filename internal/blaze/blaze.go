@@ -1,11 +1,20 @@
 // Package blaze implements the optimized LLHD simulator (the paper's
 // LLHD-Blaze, §6.1). Where the reference interpreter (internal/sim) walks
-// the IR instruction graph with map-based environments, blaze compiles
-// every unit instance ahead of time into arrays of Go closures operating
-// on a flat, slot-indexed register file. This removes all per-instruction
-// dispatch (map lookups, interface assertions, operand resolution) from
-// the simulation hot loop — the same effect the paper obtains with
-// LLVM-based JIT compilation, within a pure-Go implementation.
+// the IR instruction graph, blaze compiles every unit ahead of time into
+// arrays of Go closures operating on a flat, slot-indexed register file.
+// This removes all per-instruction dispatch (map lookups, interface
+// assertions, operand resolution) from the simulation hot loop — the same
+// effect the paper obtains with LLVM-based JIT compilation, within a
+// pure-Go implementation.
+//
+// Compilation is per unit and session-independent: the closures reference
+// per-activation state (registers, signal tables, reg/del histories) only
+// through the proc they run on, never by capture. A CompiledDesign
+// therefore holds one immutable copy of the code for the whole design
+// hierarchy, shared read-only by every Simulator built from it — the
+// foundation of the concurrent session farm (llhd.Farm). Per-session
+// state (the event engine, signals, register files, function call-frame
+// pools) lives in the Simulator.
 //
 // Blaze shares the event kernel (internal/engine) with the interpreter, so
 // both produce identical traces; only the per-activation execution differs.
@@ -19,27 +28,32 @@ import (
 	"llhd/internal/val"
 )
 
-// Simulator couples a compiled design with the event engine.
+// Simulator couples one elaborated, per-session incarnation of a compiled
+// design with its own event engine. The compiled code is shared with every
+// other Simulator built from the same CompiledDesign; everything reachable
+// from here that is mutable at run time is session-private.
 type Simulator struct {
 	Engine *engine.Engine
 	Module *ir.Module
 	Top    string
 
-	funcs map[string]*compiledFunc
+	design *CompiledDesign
+	// framePools holds the pooled function call frames, indexed by the
+	// compiled function's dense index. Pools are per session: sharing them
+	// across concurrently running sessions would race on the wake path.
+	framePools [][]*proc
 }
 
-// New compiles and elaborates the design hierarchy under the top unit.
+// New compiles and elaborates the design hierarchy under the top unit for
+// single-session use. The module is not frozen and stays mutable once the
+// simulator exists; use Compile + CompiledDesign.NewSimulator to share one
+// compiled design across concurrent sessions.
 func New(m *ir.Module, top string) (*Simulator, error) {
-	e := engine.New()
-	s := &Simulator{Engine: e, Module: m, Top: top, funcs: map[string]*compiledFunc{}}
-	factory := func(inst *engine.Instance) (engine.Process, error) {
-		return s.compileInstance(inst)
-	}
-	if err := engine.Elaborate(e, m, top, factory); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return newDesign(m, top).newSimulator()
 }
+
+// Design returns the compiled design the simulator executes.
+func (s *Simulator) Design() *CompiledDesign { return s.design }
 
 // Run initializes and simulates to completion (or the time limit).
 func (s *Simulator) Run(limit ir.Time) error {
@@ -48,8 +62,40 @@ func (s *Simulator) Run(limit ir.Time) error {
 	return s.Engine.Err()
 }
 
+// acquireFrame returns a pooled call frame for the compiled function with
+// its register file reset from the constant template (non-constant slots
+// read as zero values, exactly like a freshly allocated file).
+func (s *Simulator) acquireFrame(cf *compiledFunc) *proc {
+	for len(s.framePools) <= cf.idx {
+		s.framePools = append(s.framePools, nil)
+	}
+	if pool := s.framePools[cf.idx]; len(pool) > 0 {
+		frame := pool[len(pool)-1]
+		s.framePools[cf.idx] = pool[:len(pool)-1]
+		copy(frame.regs, cf.constRegs)
+		frame.cur = 0
+		frame.retVal = val.Value{}
+		return frame
+	}
+	frame := &proc{
+		name: cf.name,
+		code: cf.code,
+		regs: make([]val.Value, cf.nregs),
+		sim:  s,
+	}
+	copy(frame.regs, cf.constRegs)
+	return frame
+}
+
+// releaseFrame returns a call frame to its pool; recursion pops deeper
+// frames, so release order is naturally LIFO.
+func (s *Simulator) releaseFrame(cf *compiledFunc, frame *proc) {
+	s.framePools[cf.idx] = append(s.framePools[cf.idx], frame)
+}
+
 // step is one compiled instruction: it mutates the register file and
-// optionally interacts with the engine.
+// optionally interacts with the engine. Steps must reference all mutable
+// state through p — the closures themselves are shared across sessions.
 type step func(p *proc, e *engine.Engine) error
 
 // blockCode is a compiled basic block: straight-line steps plus a
@@ -65,14 +111,32 @@ const (
 	blockHalt    = -2
 )
 
-// proc is one compiled unit instance: the register file plus its code.
+// delState is the per-activation history of one del instruction.
+type delState struct {
+	seen bool
+	prev val.Value
+}
+
+// regState is the per-activation trigger history of one reg instruction.
+type regState struct {
+	seen bool
+	prev []bool
+}
+
+// proc is one unit instance executing shared compiled code over private
+// state: the register file, the resolved signal table, the per-wait
+// sensitivity lists, and the reg/del histories.
 type proc struct {
 	engine.ProcHandle
 	name   string
-	code   []blockCode
-	regs   []val.Value
-	sigs   []engine.SigRef // signal slot table
-	cur    int             // resume block index
+	code   []blockCode       // shared with every session; read-only
+	regs   []val.Value       // register file, indexed by compile-time slots
+	sigs   []engine.SigRef   // signal slot table, resolved at instantiation
+	probed []engine.SigRef   // entity sensitivity (deduped by signal)
+	waits  [][]engine.SigRef // wait site -> prebuilt sensitivity list
+	dels   []delState
+	regst  []regState
+	cur    int // resume block index
 	entity bool
 	halted bool
 	sim    *Simulator
@@ -83,7 +147,8 @@ func (p *proc) Name() string { return p.name }
 
 func (p *proc) Init(e *engine.Engine) {
 	if p.entity {
-		p.subscribeEntity(e)
+		// Permanent sensitivity on every probed signal.
+		e.Subscribe(p.ProcID(), p.probed)
 	}
 	p.cur = 0
 	p.run(e)
@@ -131,17 +196,4 @@ func (p *proc) run(e *engine.Engine) {
 		}
 	}
 	e.SetError(fmt.Errorf("blaze: %s: step budget exhausted", p.name))
-}
-
-// subscribeEntity arms permanent sensitivity on every probed signal.
-func (p *proc) subscribeEntity(e *engine.Engine) {
-	seen := map[*engine.Signal]bool{}
-	var refs []engine.SigRef
-	for _, r := range p.sigs {
-		if r.Sig != nil && !seen[r.Sig] {
-			seen[r.Sig] = true
-			refs = append(refs, r)
-		}
-	}
-	e.Subscribe(p.ProcID(), refs)
 }

@@ -9,27 +9,37 @@ import (
 	"llhd/internal/val"
 )
 
-// compiler builds the slot assignment and closures for one unit instance.
-// Values are identified by the unit's shared dense value IDs (ir.Numbering
-// — the same scheme the reference interpreter indexes its frames with);
-// the former private slotOf/sigOf hash maps are dense vid-indexed side
-// tables. Register slots stay compacted to first-use order so the register
-// file only holds values the compiled code actually touches.
+// compiler builds the slot assignment and closures for one unit. Values
+// are identified by the unit's shared dense value IDs (ir.Numbering — the
+// same scheme the reference interpreter indexes its frames with); the slot
+// and signal assignments are dense vid-indexed side tables. Register slots
+// stay compacted to first-use order so the register file only holds values
+// the compiled code actually touches.
+//
+// The closures the compiler emits are session-independent: they address
+// signals through the proc's slot table (p.sigs[si]) and keep activation
+// history (reg edge samples, del previous values) in per-proc state
+// arrays, never in captured variables. The compiler's prototype instance
+// is used only to read the unit's elaboration-time constants and to
+// validate that every signal reference will resolve at instantiation.
 type compiler struct {
-	sim  *Simulator
-	inst *engine.Instance
+	cd   *CompiledDesign
+	inst *engine.Instance // prototype instance of the unit
 	unit *ir.Unit
 	num  *ir.Numbering
 
 	slotIdx []int       // value ID -> register slot, -1 until first use
-	sigIdx  []int       // value ID -> signal slot (SigRef table), -1 unresolved
+	sigIdx  []int       // value ID -> signal slot, -1 unresolved
 	consts  []constSlot // compile-time constants to pre-place in the registers
 	nregs   int
 	blocks  map[*ir.Block]int // block -> code index
-	sigs    []engine.SigRef
 
-	probed []engine.SigRef // entity sensitivity
-	pseen  map[*engine.Signal]bool
+	sigVals    []ir.Value // signal slot -> IR value (instantiation recipe)
+	probedSeen []bool     // signal slot -> already in probed
+	probed     []int      // entity sensitivity, as signal slots
+	waits      [][]int    // wait site -> signal slots
+	nDels      int
+	regTrig    []int // reg site -> trigger count
 }
 
 // constSlot is one pre-placed register constant.
@@ -38,19 +48,18 @@ type constSlot struct {
 	v    val.Value
 }
 
-// newCompiler builds a compiler for one unit instance over its numbering.
-func newCompiler(s *Simulator, inst *engine.Instance) *compiler {
+// newCompiler builds a compiler for one unit over its numbering.
+func newCompiler(cd *CompiledDesign, inst *engine.Instance) *compiler {
 	num := inst.Numbering()
 	n := num.Len()
 	c := &compiler{
-		sim:     s,
+		cd:      cd,
 		inst:    inst,
 		unit:    inst.Unit,
 		num:     num,
 		slotIdx: make([]int, n),
 		sigIdx:  make([]int, n),
 		blocks:  map[*ir.Block]int{},
-		pseen:   map[*engine.Signal]bool{},
 	}
 	for i := range c.slotIdx {
 		c.slotIdx[i] = -1
@@ -59,9 +68,37 @@ func newCompiler(s *Simulator, inst *engine.Instance) *compiler {
 	return c
 }
 
-// compileInstance builds a compiled process for a proc or entity instance.
-func (s *Simulator) compileInstance(inst *engine.Instance) (engine.Process, error) {
-	return newCompiler(s, inst).compile()
+// compileUnit builds the shared compiled form of a proc or entity unit,
+// using inst as the prototype instance.
+func compileUnit(cd *CompiledDesign, inst *engine.Instance) (*compiledUnit, error) {
+	c := newCompiler(cd, inst)
+	cu := &compiledUnit{unit: c.unit, entity: c.unit.Kind == ir.UnitEntity}
+	for i, b := range c.unit.Blocks {
+		c.blocks[b] = i
+	}
+	// Pre-seed constants known from elaboration.
+	consts, isConst := c.inst.ConstTable()
+	for id, ok := range isConst {
+		if ok {
+			c.consts = append(c.consts, constSlot{slot: c.slot(c.num.Value(id)), v: consts[id]})
+		}
+	}
+
+	for _, b := range c.unit.Blocks {
+		bc, err := c.compileBlock(b)
+		if err != nil {
+			return nil, fmt.Errorf("@%s: %w", c.unit.Name, err)
+		}
+		cu.code = append(cu.code, bc)
+	}
+	cu.nregs = c.nregs
+	cu.consts = c.consts
+	cu.sigVals = c.sigVals
+	cu.probed = c.probed
+	cu.waits = c.waits
+	cu.nDels = c.nDels
+	cu.regTrig = c.regTrig
+	return cu, nil
 }
 
 // slot returns the register slot of v, assigning the next compact slot on
@@ -80,8 +117,9 @@ func (c *compiler) slot(v ir.Value) int {
 	return s
 }
 
-// sigSlot resolves a statically-known signal reference to a slot in the
-// SigRef table, following extf/exts projections.
+// sigSlot assigns a slot in the proc's signal table to a statically-known
+// signal reference. The actual SigRef is resolved per instance; compile
+// time only validates resolvability against the prototype instance.
 func (c *compiler) sigSlot(v ir.Value) (int, error) {
 	id := ir.ValueID(v)
 	if id < 0 {
@@ -90,82 +128,23 @@ func (c *compiler) sigSlot(v ir.Value) (int, error) {
 	if i := c.sigIdx[id]; i >= 0 {
 		return i, nil
 	}
-	ref, err := c.resolveSig(v)
-	if err != nil {
+	if _, err := resolveSigRef(c.inst, v); err != nil {
 		return 0, err
 	}
-	i := len(c.sigs)
-	c.sigs = append(c.sigs, ref)
+	i := len(c.sigVals)
+	c.sigVals = append(c.sigVals, v)
+	c.probedSeen = append(c.probedSeen, false)
 	c.sigIdx[id] = i
 	return i, nil
 }
 
-func (c *compiler) resolveSig(v ir.Value) (engine.SigRef, error) {
-	if r, ok := c.inst.BindOf(v); ok {
-		return r, nil
+// markProbed adds the signal slot to the entity's permanent sensitivity
+// (deduplicated per slot here, per signal at instantiation).
+func (c *compiler) markProbed(si int) {
+	if !c.probedSeen[si] {
+		c.probedSeen[si] = true
+		c.probed = append(c.probed, si)
 	}
-	in, ok := v.(*ir.Inst)
-	if !ok {
-		return engine.SigRef{}, fmt.Errorf("value %s is not a signal", v)
-	}
-	switch in.Op {
-	case ir.OpExtF:
-		base, err := c.resolveSig(in.Args[0])
-		if err != nil {
-			return engine.SigRef{}, err
-		}
-		return base.Extend(engine.Proj{Kind: engine.ProjField, A: in.Imm0}), nil
-	case ir.OpExtS:
-		base, err := c.resolveSig(in.Args[0])
-		if err != nil {
-			return engine.SigRef{}, err
-		}
-		return base.Extend(engine.Proj{Kind: engine.ProjSlice, A: in.Imm0, B: in.Imm1}), nil
-	}
-	return engine.SigRef{}, fmt.Errorf("value %s is not a signal", v)
-}
-
-func (c *compiler) markProbed(ref engine.SigRef) {
-	if !c.pseen[ref.Sig] {
-		c.pseen[ref.Sig] = true
-		c.probed = append(c.probed, ref)
-	}
-}
-
-func (c *compiler) compile() (*proc, error) {
-	p := &proc{
-		name:   c.inst.Name,
-		entity: c.unit.Kind == ir.UnitEntity,
-		sim:    c.sim,
-	}
-	for i, b := range c.unit.Blocks {
-		c.blocks[b] = i
-	}
-	// Pre-seed constants known from elaboration.
-	consts, isConst := c.inst.ConstTable()
-	for id, ok := range isConst {
-		if ok {
-			c.consts = append(c.consts, constSlot{slot: c.slot(c.num.Value(id)), v: consts[id]})
-		}
-	}
-
-	for _, b := range c.unit.Blocks {
-		bc, err := c.compileBlock(b)
-		if err != nil {
-			return nil, fmt.Errorf("@%s: %w", c.unit.Name, err)
-		}
-		p.code = append(p.code, bc)
-	}
-	p.regs = make([]val.Value, c.nregs)
-	for _, cs := range c.consts {
-		p.regs[cs.slot] = cs.v
-	}
-	p.sigs = c.sigs
-	if p.entity {
-		// Restrict permanent sensitivity to probed signals.
-		p.sigs = c.probed
-	}
-	return p, nil
 }
 
 func (c *compiler) compileBlock(b *ir.Block) (blockCode, error) {
@@ -299,20 +278,22 @@ func (c *compiler) compileTerm(b *ir.Block, in *ir.Inst) (func(p *proc, e *engin
 	case ir.OpWait:
 		dest := c.blocks[in.Dests[0]]
 		moves := c.edgeMoves(b, in.Dests[0])
-		var refs []engine.SigRef
+		slots := make([]int, 0, len(in.Args))
 		for _, a := range in.Args {
-			ref, err := c.resolveSig(a)
+			si, err := c.sigSlot(a)
 			if err != nil {
 				return nil, err
 			}
-			refs = append(refs, ref)
+			slots = append(slots, si)
 		}
+		wi := len(c.waits)
+		c.waits = append(c.waits, slots)
 		var timeout func(p *proc) val.Value
 		if in.TimeArg != nil {
 			timeout = c.operand(in.TimeArg)
 		}
 		return func(p *proc, e *engine.Engine) (int, error) {
-			e.Subscribe(p.ProcID(), refs)
+			e.Subscribe(p.ProcID(), p.waits[wi])
 			if timeout != nil {
 				e.ScheduleWake(p.ProcID(), timeout(p).T)
 			}
@@ -355,11 +336,10 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.markProbed(c.sigs[si])
+		c.markProbed(si)
 		d := c.slot(in)
-		sig := c.sigs[si]
 		return func(p *proc, e *engine.Engine) error {
-			p.regs[d] = e.Probe(sig)
+			p.regs[d] = e.Probe(p.sigs[si])
 			return nil
 		}, nil
 
@@ -368,20 +348,19 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 		if err != nil {
 			return nil, err
 		}
-		sig := c.sigs[si]
 		value := c.operand(in.Args[1])
 		delay := c.operand(in.Args[2])
 		if len(in.Args) == 4 {
 			cond := c.operand(in.Args[3])
 			return func(p *proc, e *engine.Engine) error {
 				if cond(p).Bits != 0 {
-					e.Drive(sig, value(p), delay(p).T)
+					e.Drive(p.sigs[si], value(p), delay(p).T)
 				}
 				return nil
 			}, nil
 		}
 		return func(p *proc, e *engine.Engine) error {
-			e.Drive(sig, value(p), delay(p).T)
+			e.Drive(p.sigs[si], value(p), delay(p).T)
 			return nil
 		}, nil
 
@@ -393,25 +372,25 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 		if err != nil {
 			return nil, err
 		}
-		src, err := c.resolveSig(in.Args[1])
+		srcSi, err := c.sigSlot(in.Args[1])
 		if err != nil {
 			return nil, err
 		}
-		c.markProbed(src)
-		sig := c.sigs[si]
+		c.markProbed(srcSi)
 		delay := c.operand(in.Args[2])
-		first := true
-		var prev val.Value
+		di := c.nDels
+		c.nDels++
 		return func(p *proc, e *engine.Engine) error {
-			cur := e.Probe(src)
-			if first {
-				first = false
-				prev = cur
+			cur := e.Probe(p.sigs[srcSi])
+			d := &p.dels[di]
+			if !d.seen {
+				d.seen = true
+				d.prev = cur
 				return nil
 			}
-			if !cur.Eq(prev) {
-				prev = cur
-				e.Drive(sig, cur, delay(p).T)
+			if !cur.Eq(d.prev) {
+				d.prev = cur
+				e.Drive(p.sigs[si], cur, delay(p).T)
 			}
 			return nil
 		}, nil
@@ -467,7 +446,18 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 		if len(in.Args) == 2 {
 			idx := c.operand(in.Args[1])
 			return func(p *proc, e *engine.Engine) error {
-				out, err := val.ExtF(base(p), int(idx(p).Bits))
+				a := base(p)
+				i := int(idx(p).Bits)
+				// Clamp speculative dynamic reads like Mux: lowering may
+				// hoist pure data flow past its control guards.
+				if a.Kind == val.KindAgg && len(a.Elems) > 0 {
+					if i < 0 {
+						i = 0
+					} else if i >= len(a.Elems) {
+						i = len(a.Elems) - 1
+					}
+				}
+				out, err := val.ExtF(a, i)
 				if err != nil {
 					return err
 				}
@@ -518,7 +508,15 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 		if len(in.Args) == 3 {
 			idx := c.operand(in.Args[2])
 			return func(p *proc, e *engine.Engine) error {
-				out, err := val.InsF(base(p), v(p), int(idx(p).Bits))
+				a := base(p)
+				i := int(idx(p).Bits)
+				// A speculative out-of-range dynamic write is dropped,
+				// mirroring EvalPure's convention.
+				if a.Kind == val.KindAgg && (i < 0 || i >= len(a.Elems)) {
+					p.regs[d] = a
+					return nil
+				}
+				out, err := val.InsF(a, v(p), i)
 				if err != nil {
 					return err
 				}
@@ -725,13 +723,14 @@ func (c *compiler) boolStep(d int, f func(p *proc) bool) step {
 	}
 }
 
-// compileReg compiles a reg storage element with captured edge state.
+// compileReg compiles a reg storage element. The edge-sample history lives
+// in the proc's regState array, so instances (and sessions) sharing this
+// code never share mutable state.
 func (c *compiler) compileReg(in *ir.Inst) (step, error) {
 	si, err := c.sigSlot(in.Args[0])
 	if err != nil {
 		return nil, err
 	}
-	sig := c.sigs[si]
 	var delay func(p *proc) val.Value
 	if in.Delay != nil {
 		delay = c.operand(in.Delay)
@@ -754,20 +753,21 @@ func (c *compiler) compileReg(in *ir.Inst) (step, error) {
 		}
 		trigs = append(trigs, t)
 	}
-	prev := make([]bool, len(trigs))
-	first := true
+	ri := len(c.regTrig)
+	c.regTrig = append(c.regTrig, len(trigs))
 	return func(p *proc, e *engine.Engine) error {
-		if first {
-			first = false
+		st := &p.regst[ri]
+		if !st.seen {
+			st.seen = true
 			for i, t := range trigs {
-				prev[i] = t.trigger(p).Bits != 0
+				st.prev[i] = t.trigger(p).Bits != 0
 			}
 			return nil
 		}
 		for i, t := range trigs {
 			now := t.trigger(p).Bits != 0
-			was := prev[i]
-			prev[i] = now
+			was := st.prev[i]
+			st.prev[i] = now
 			var fired bool
 			switch t.mode {
 			case ir.RegRise:
@@ -791,50 +791,12 @@ func (c *compiler) compileReg(in *ir.Inst) (step, error) {
 			if delay != nil {
 				d = delay(p).T
 			}
-			e.Drive(sig, t.value(p), d)
+			e.Drive(p.sigs[si], t.value(p), d)
 			break
 		}
 		return nil
 	}, nil
 }
-
-// ------------------------------------------------------------- functions
-
-// compiledFunc is a compiled function unit.
-type compiledFunc struct {
-	name      string
-	code      []blockCode
-	nregs     int
-	args      []int // arg slots
-	hasRet    bool
-	constRegs []val.Value // register-file template: constants pre-placed
-	free      []*proc     // pooled call frames; recursion pops deeper ones
-}
-
-// acquire returns a call frame with the register file reset from the
-// constant template (non-constant slots read as zero values, exactly like a
-// freshly allocated file).
-func (cf *compiledFunc) acquire(s *Simulator) *proc {
-	if n := len(cf.free); n > 0 {
-		frame := cf.free[n-1]
-		cf.free = cf.free[:n-1]
-		copy(frame.regs, cf.constRegs)
-		frame.cur = 0
-		frame.retVal = val.Value{}
-		return frame
-	}
-	frame := &proc{
-		name: cf.name,
-		code: cf.code,
-		regs: make([]val.Value, cf.nregs),
-		sim:  s,
-	}
-	copy(frame.regs, cf.constRegs)
-	return frame
-}
-
-// release returns a call frame to the pool.
-func (cf *compiledFunc) release(frame *proc) { cf.free = append(cf.free, frame) }
 
 // compileCall dispatches intrinsics and function calls.
 func (c *compiler) compileCall(in *ir.Inst) (step, error) {
@@ -873,7 +835,7 @@ func (c *compiler) compileCall(in *ir.Inst) (step, error) {
 		}, nil
 	}
 
-	cf, err := c.sim.compileFunc(in.Callee)
+	cf, err := c.cd.compileFunc(in.Callee)
 	if err != nil {
 		return nil, err
 	}
@@ -891,45 +853,6 @@ func (c *compiler) compileCall(in *ir.Inst) (step, error) {
 		}
 		return nil
 	}, nil
-}
-
-// compileFunc compiles (and caches) a function unit.
-func (s *Simulator) compileFunc(name string) (*compiledFunc, error) {
-	if cf, ok := s.funcs[name]; ok {
-		return cf, nil
-	}
-	fn := s.Module.Unit(name)
-	if fn == nil {
-		return nil, fmt.Errorf("call to undefined @%s", name)
-	}
-	if fn.Kind != ir.UnitFunc {
-		return nil, fmt.Errorf("call target @%s is a %s", name, fn.Kind)
-	}
-	cf := &compiledFunc{name: name, hasRet: !fn.RetType.IsVoid()}
-	s.funcs[name] = cf // pre-register to tolerate recursion
-
-	fc := newCompiler(s, engine.NewInstance(fn, name))
-	for i, b := range fn.Blocks {
-		fc.blocks[b] = i
-	}
-	for _, a := range fn.Inputs {
-		cf.args = append(cf.args, fc.slot(a))
-	}
-	for _, b := range fn.Blocks {
-		bc, err := fc.compileFuncBlock(b)
-		if err != nil {
-			return nil, fmt.Errorf("@%s: %w", name, err)
-		}
-		cf.code = append(cf.code, bc)
-	}
-	cf.nregs = fc.nregs
-	// Bake compiled constants into a register-file template; it is built
-	// once per function and amortized across all pooled call frames.
-	cf.constRegs = make([]val.Value, fc.nregs)
-	for _, cs := range fc.consts {
-		cf.constRegs[cs.slot] = cs.v
-	}
-	return cf, nil
 }
 
 // compileFuncBlock compiles one function block, treating ret as the
@@ -966,37 +889,4 @@ func (c *compiler) compileFuncBlock(b *ir.Block) (blockCode, error) {
 		}
 	}
 	return bc, fmt.Errorf("block %s lacks a terminator", b)
-}
-
-// invoke runs a compiled function on a pooled register frame.
-func (cf *compiledFunc) invoke(s *Simulator, e *engine.Engine, fetch []func(p *proc) val.Value, caller *proc) (val.Value, error) {
-	frame := cf.acquire(s)
-	defer cf.release(frame)
-	for i, as := range cf.args {
-		frame.regs[as] = fetch[i](caller)
-	}
-	const maxSteps = 100_000_000
-	for steps := 0; steps < maxSteps; steps++ {
-		if frame.cur < 0 || frame.cur >= len(frame.code) {
-			return val.Value{}, fmt.Errorf("@%s: fell off the end", cf.name)
-		}
-		bc := &frame.code[frame.cur]
-		for _, st := range bc.steps {
-			if err := st(frame, e); err != nil {
-				return val.Value{}, err
-			}
-		}
-		next, err := bc.term(frame, e)
-		if err != nil {
-			return val.Value{}, err
-		}
-		if next == blockHalt {
-			return frame.retVal, nil
-		}
-		if next == blockSuspend {
-			return val.Value{}, fmt.Errorf("@%s: function suspended", cf.name)
-		}
-		frame.cur = next
-	}
-	return val.Value{}, fmt.Errorf("@%s: step budget exhausted", cf.name)
 }

@@ -33,10 +33,27 @@ type Instance struct {
 	isConst []bool
 }
 
-// NewInstance creates an empty instance of the unit. The bind and const
-// tables materialize lazily on first write.
+// NewInstance creates an empty instance of the unit. For units of a frozen
+// module (ir.Module.Freeze) the bind and const tables are precomputed
+// eagerly — frozen designs are elaborated by many concurrent sessions, and
+// the eager tables keep the whole instance read-path branch-free and
+// allocation-stable per session. Unfrozen units keep the lazy
+// materialize-on-first-write path (function instances bind nothing, and
+// only entities fold constants, so laziness still pays off there).
 func NewInstance(u *ir.Unit, name string) *Instance {
-	return &Instance{Unit: u, Name: name, num: u.Numbering()}
+	inst := &Instance{Unit: u, Name: name, num: u.Numbering()}
+	if u.Frozen() {
+		n := inst.num.Len()
+		if u.Kind != ir.UnitFunc && n > 0 {
+			inst.binds = make([]SigRef, n)
+			inst.bound = make([]bool, n)
+		}
+		if u.Kind == ir.UnitEntity && n > 0 {
+			inst.consts = make([]val.Value, n)
+			inst.isConst = make([]bool, n)
+		}
+	}
+	return inst
 }
 
 // Numbering returns the value numbering the instance tables are indexed by.
@@ -348,6 +365,13 @@ func EvalPure(in *ir.Inst, lookup func(ir.Value) (val.Value, bool)) (val.Value, 
 				return val.Value{}, err
 			}
 			idx = int(iv.Bits)
+			// Dynamic indices can execute speculatively once lowering has
+			// hoisted pure data flow past its control guards, so an
+			// out-of-range write is dropped instead of trapping (the same
+			// lenient convention Mux uses). Static indices stay strict.
+			if a.Kind == val.KindAgg && (idx < 0 || idx >= len(a.Elems)) {
+				return a, nil
+			}
 		}
 		return val.InsF(a, v, idx)
 	case ir.OpInsS:
@@ -372,6 +396,14 @@ func EvalPure(in *ir.Inst, lookup func(ir.Value) (val.Value, bool)) (val.Value, 
 				return val.Value{}, err
 			}
 			idx = int(iv.Bits)
+			// Clamp speculative dynamic reads like Mux; see OpInsF above.
+			if a.Kind == val.KindAgg && len(a.Elems) > 0 {
+				if idx < 0 {
+					idx = 0
+				} else if idx >= len(a.Elems) {
+					idx = len(a.Elems) - 1
+				}
+			}
 		}
 		return val.ExtF(a, idx)
 	case ir.OpExtS:

@@ -561,5 +561,21 @@ func (e *Engine) Run(limit ir.Time) int {
 	return steps
 }
 
+// RunBudget simulates like Run but executes at most budget time instants,
+// so callers (the session farm) can interleave cancellation checks with
+// batches of work. It reports whether runnable work remains within the
+// limit. The per-instant execution path is identical to Run's.
+func (e *Engine) RunBudget(limit ir.Time, budget int) (more bool) {
+	for budget > 0 && len(e.heap) > 0 && e.err == nil {
+		if limit.Fs > 0 && e.heap[0].time.Fs > limit.Fs {
+			return false
+		}
+		e.Step()
+		budget--
+	}
+	return len(e.heap) > 0 && e.err == nil &&
+		!(limit.Fs > 0 && e.heap[0].time.Fs > limit.Fs)
+}
+
 // PendingEvents reports the number of scheduled events.
 func (e *Engine) PendingEvents() int { return e.pending }

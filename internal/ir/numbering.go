@@ -23,7 +23,15 @@ type Numbering struct {
 // Numbering returns the unit's cached dense value numbering, computing it
 // on first use and recomputing it if the unit was mutated since (even by
 // direct slice manipulation that bypassed the invalidation hooks).
+//
+// Frozen units (Module.Freeze) skip both the lazy compute and the
+// revalidation walk: their numbering was materialized at freeze time and
+// the unit can no longer change, so this is a plain field read that is
+// safe from any number of goroutines.
 func (u *Unit) Numbering() *Numbering {
+	if u.frozen {
+		return u.numbering
+	}
 	if u.numbering == nil || !u.numbering.valid() {
 		u.numbering = computeNumbering(u)
 	}
@@ -63,8 +71,14 @@ func (n *Numbering) valid() bool {
 
 // invalidateNumbering drops the cached numbering after a structural
 // mutation. Node IDs are left stale; they are rewritten wholesale by the
-// next Numbering call.
-func (u *Unit) invalidateNumbering() { u.numbering = nil }
+// next Numbering call. Mutating a frozen unit is a contract violation
+// (frozen designs may be shared across goroutines) and panics.
+func (u *Unit) invalidateNumbering() {
+	if u.frozen {
+		panic("ir: structural mutation of frozen unit @" + u.Name)
+	}
+	u.numbering = nil
+}
 
 func computeNumbering(u *Unit) *Numbering {
 	n := &Numbering{unit: u}

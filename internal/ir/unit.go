@@ -38,6 +38,7 @@ type Unit struct {
 
 	mod       *Module
 	numbering *Numbering // cached dense value numbering, see Numbering()
+	frozen    bool       // sealed by Module.Freeze; mutation panics
 }
 
 // NewUnit creates a detached unit of the given kind and name.
@@ -205,6 +206,7 @@ type Module struct {
 	Units []*Unit
 
 	byName map[string]*Unit
+	frozen bool // sealed by Freeze; Add/Remove/Link panic
 }
 
 // NewModule creates an empty module.
@@ -215,6 +217,9 @@ func NewModule(name string) *Module {
 // Add appends the unit to the module. It returns an error if the global
 // name is already taken.
 func (m *Module) Add(u *Unit) error {
+	if m.frozen {
+		panic("ir: Add on frozen module " + m.Name)
+	}
 	if m.byName == nil {
 		m.byName = map[string]*Unit{}
 	}
@@ -245,6 +250,9 @@ func (m *Module) Unit(name string) *Unit {
 
 // Remove deletes the unit from the module.
 func (m *Module) Remove(u *Unit) {
+	if m.frozen {
+		panic("ir: Remove on frozen module " + m.Name)
+	}
 	for i, have := range m.Units {
 		if have == u {
 			m.Units = append(m.Units[:i], m.Units[i+1:]...)
@@ -258,6 +266,9 @@ func (m *Module) Remove(u *Unit) {
 // Link merges the units of other into m, resolving references by global
 // name (§2.3). Duplicate definitions are an error.
 func (m *Module) Link(other *Module) error {
+	if other.frozen {
+		panic("ir: Link from frozen module " + other.Name)
+	}
 	for _, u := range other.Units {
 		if err := m.Add(u); err != nil {
 			return err

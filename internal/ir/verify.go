@@ -347,6 +347,38 @@ func (v *verifier) verifyDefs(u *Unit, name string) {
 	}
 	// Def-before-use within blocks; cross-block checks use dominance.
 	dt := NewDomTree(u)
+	// Phi placement: the engines resolve a block's phis as one contiguous
+	// leading run, simultaneously on edge entry, so (a) phis must form a
+	// prefix of their block, and (b) each incoming value must be available
+	// at the end of its edge's predecessor.
+	for _, b := range u.Blocks {
+		inPrefix := true
+		for _, in := range b.Insts {
+			if in.Op != OpPhi {
+				inPrefix = false
+				continue
+			}
+			if !inPrefix {
+				v.errorf("%s: phi %s in %s follows a non-phi instruction", name, in, b)
+			}
+			if len(in.Args) != len(in.Dests) {
+				continue // arity mismatch already reported by the inst check
+			}
+			for i, pred := range in.Dests {
+				def, ok := in.Args[i].(*Inst)
+				if !ok {
+					continue
+				}
+				if def.block == nil {
+					continue // flagged by the membership check above
+				}
+				if dt.Reachable(pred) && dt.Reachable(def.block) && !dt.Dominates(def.block, pred) {
+					v.errorf("%s: phi %s in %s: value %s does not dominate edge predecessor %s",
+						name, in, b, in.Args[i], pred)
+				}
+			}
+		}
+	}
 	for _, b := range u.Blocks {
 		seen := map[Value]bool{}
 		for _, a := range u.Inputs {

@@ -100,10 +100,17 @@ func hoistTarget(u *ir.Unit, dt *ir.DomTree, depth map[*ir.Block]int, in *ir.Ins
 }
 
 // insertAfterOperands places in into target after the last of its operands
-// defined in target, and in any case before the terminator, preserving
-// def-before-use order.
+// defined in target — and always after the block's phi prefix, which the
+// engines resolve as one contiguous leading run — and in any case before
+// the terminator, preserving def-before-use order.
 func insertAfterOperands(target *ir.Block, in *ir.Inst) {
 	pos := -1
+	for i, x := range target.Insts {
+		if x.Op != ir.OpPhi {
+			break
+		}
+		pos = i
+	}
 	in.Operands(func(v ir.Value) {
 		if def, ok := v.(*ir.Inst); ok && def.Block() == target {
 			if i := target.Index(def); i > pos {

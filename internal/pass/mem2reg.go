@@ -25,6 +25,16 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 	if len(vars) == 0 {
 		return false, nil
 	}
+	// The promoted initializer becomes a phi operand on every path that
+	// never executed the var (and the entry value of the entry block), so
+	// it must be available everywhere: hoist a clone of its constant cone
+	// into the entry block when the original does not already dominate the
+	// whole unit. Vars whose initializer cannot be hoisted stay in memory
+	// form.
+	vars, initOf := hoistInitializers(u, vars)
+	if len(vars) == 0 {
+		return false, nil
+	}
 	preds := u.Preds()
 
 	// Phase 1: one phi per (join block, var).
@@ -71,7 +81,7 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 			if ph, ok := phis[b][v]; ok {
 				entry[b][v] = ph
 			} else if b == u.Entry() {
-				entry[b][v] = v.Args[0]
+				entry[b][v] = initOf[v]
 			}
 		}
 	}
@@ -100,8 +110,13 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 		}
 	}
 
-	// Phase 3: resolve loads with the per-block running value.
-	uses := u.Uses()
+	// Phase 3: compute each load's replacement (the running value at the
+	// load site). Rewriting is deferred: a running value can itself be a
+	// promoted load from another block (st %v2, %ld_of_v1), so uses must be
+	// resolved through the full replacement chain after all replacements
+	// are known — otherwise dropped loads leak into phi operands and
+	// rewritten uses as dangling references.
+	repl := map[*ir.Inst]ir.Value{}
 	for _, b := range u.Blocks {
 		cur := map[*ir.Inst]ir.Value{}
 		for _, v := range vars {
@@ -117,13 +132,9 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 				if v, ok := in.Args[0].(*ir.Inst); ok && containsVar(vars, v) {
 					rv := cur[v]
 					if rv == nil {
-						rv = v.Args[0]
+						rv = initOf[v]
 					}
-					for _, use := range uses[in] {
-						use.ReplaceOperand(in, rv)
-					}
-					// Phis elsewhere may also use the load.
-					u.ReplaceAllUses(in, rv)
+					repl[in] = rv
 				}
 			case ir.OpSt:
 				if v, ok := in.Args[0].(*ir.Inst); ok && containsVar(vars, v) {
@@ -132,16 +143,37 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 			}
 		}
 	}
+	// resolve follows replacement chains to a value that survives phase 5.
+	// Chains are acyclic (cross-block flow passes through the phis placed in
+	// phase 1), but the walk is bounded defensively.
+	resolve := func(x ir.Value) ir.Value {
+		for i := 0; i <= len(repl); i++ {
+			ld, ok := x.(*ir.Inst)
+			if !ok {
+				return x
+			}
+			rv, ok := repl[ld]
+			if !ok {
+				return x
+			}
+			x = rv
+		}
+		return x
+	}
+	for ld := range repl {
+		u.ReplaceAllUses(ld, resolve(ld))
+	}
 
-	// Phase 4: fill phi operands from predecessor exit values.
+	// Phase 4: fill phi operands from predecessor exit values, resolved
+	// past any promoted loads.
 	for b, perVar := range phis {
 		for v, phi := range perVar {
 			for _, p := range preds[b] {
 				pv := exitOf(p, v)
 				if pv == nil {
-					pv = v.Args[0]
+					pv = initOf[v]
 				}
-				phi.Args = append(phi.Args, pv)
+				phi.Args = append(phi.Args, resolve(pv))
 				phi.Dests = append(phi.Dests, p)
 			}
 		}
@@ -167,6 +199,98 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 		b.Insts = kept
 	}
 	return true, nil
+}
+
+// hoistInitializers returns, for each promotable var, an initializer
+// value that is available in every block of the unit: the original when it
+// is an argument or already defined in the entry block, else a clone of
+// its pure-constant cone inserted at the top of the entry block. Vars
+// whose initializer cannot be made entry-available are dropped from
+// promotion.
+func hoistInitializers(u *ir.Unit, vars []*ir.Inst) ([]*ir.Inst, map[*ir.Inst]ir.Value) {
+	kept := make([]*ir.Inst, 0, len(vars))
+	initOf := map[*ir.Inst]ir.Value{}
+	h := &initHoister{u: u, cloned: map[ir.Value]*ir.Inst{}}
+	for _, v := range vars {
+		iv, ok := h.entryAvailable(v.Args[0], 16, true)
+		if !ok {
+			// Roll back clones cached for this cone only; an unpromoted
+			// var must not leave orphaned instructions behind, and an
+			// uncommitted cache entry must not leak into later cones.
+			h.rollback()
+			continue
+		}
+		h.commit()
+		kept = append(kept, v)
+		initOf[v] = iv
+	}
+	return kept, initOf
+}
+
+// initHoister clones pure-constant initializer cones into the entry
+// block. Clones are collected per cone and only inserted (and their cache
+// entries kept) when the whole cone resolves; all insertions go before
+// the entry block's original first instruction, in emission order
+// (operands first), so the cones stay def-before-use and ahead of every
+// pre-existing instruction.
+type initHoister struct {
+	u       *ir.Unit
+	cloned  map[ir.Value]*ir.Inst
+	pending []ir.Value // originals cloned for the cone in flight
+}
+
+func (h *initHoister) commit() {
+	anchor := h.u.Entry().Insts[0]
+	for _, v := range h.pending {
+		h.u.Entry().InsertBefore(h.cloned[v], anchor)
+	}
+	h.pending = h.pending[:0]
+}
+
+func (h *initHoister) rollback() {
+	for _, v := range h.pending {
+		delete(h.cloned, v)
+	}
+	h.pending = h.pending[:0]
+}
+
+// entryAvailable returns a version of v that dominates the whole unit,
+// cloning pure instruction cones over constants when the original is
+// defined outside the entry block. top marks the initializer itself,
+// which may be used as-is when it already lives in the entry block;
+// nested operands must be cloned instead (the clones land ahead of all
+// original entry instructions, so an original there would follow its
+// use).
+func (h *initHoister) entryAvailable(v ir.Value, depth int, top bool) (ir.Value, bool) {
+	if c, ok := h.cloned[v]; ok {
+		return c, true
+	}
+	in, isInst := v.(*ir.Inst)
+	if !isInst {
+		// Arguments (and other non-inst values) are available everywhere.
+		return v, true
+	}
+	if top && in.Block() == h.u.Entry() {
+		return v, true
+	}
+	if depth <= 0 || in.Block() == nil || !(in.Op.IsConst() || in.Op.IsPure()) {
+		return nil, false
+	}
+	clone := &ir.Inst{
+		Op: in.Op, Ty: in.Ty,
+		Imm0: in.Imm0, Imm1: in.Imm1,
+		IVal: in.IVal, TVal: in.TVal,
+	}
+	for _, a := range in.Args {
+		ca, ok := h.entryAvailable(a, depth-1, false)
+		if !ok {
+			return nil, false
+		}
+		clone.Args = append(clone.Args, ca)
+	}
+	h.cloned[v] = clone
+	h.pending = append(h.pending, v)
+	return clone, true
 }
 
 func containsVar(vars []*ir.Inst, v *ir.Inst) bool {

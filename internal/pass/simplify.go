@@ -149,8 +149,11 @@ func simplifyInst(in *ir.Inst) (ir.Value, bool) {
 			return only, false
 		}
 	case ir.OpExtF:
-		// extf of a literal aggregate.
-		if agg, ok := x(0).(*ir.Inst); ok && (agg.Op == ir.OpArray || agg.Op == ir.OpStruct) {
+		// extf of a literal aggregate — static index form only (the
+		// dynamic form carries its index as a second operand and Imm0 is
+		// meaningless there).
+		if agg, ok := x(0).(*ir.Inst); ok && len(in.Args) == 1 &&
+			(agg.Op == ir.OpArray || agg.Op == ir.OpStruct) {
 			if in.Imm0 < len(agg.Args) {
 				return agg.Args[in.Imm0], false
 			}

@@ -215,20 +215,36 @@ func phiToMux(u *ir.Unit) bool {
 		if dom == nil {
 			break
 		}
-		// Operands must dominate the phi's block for a mux placement.
+		// Operands must be available where the mux will sit: defined in a
+		// strictly dominating block, or earlier in the same block. A
+		// same-block definition after the phi (the loop-carried increment
+		// of a loop-header phi) reads the value of the previous iteration
+		// along its edge; as a mux operand it would be a combinational
+		// cycle, so those phis must stay phis.
+		availableAt := func(v ir.Value) bool {
+			def, isInst := v.(*ir.Inst)
+			if !isInst {
+				return true
+			}
+			if def.Block() == nil {
+				return false
+			}
+			if def.Block() == home {
+				return home.Index(def) < home.Index(phi)
+			}
+			return dt.Dominates(def.Block(), home)
+		}
 		ok := true
 		for _, a := range phi.Args {
-			if def, isInst := a.(*ir.Inst); isInst {
-				if def.Block() == nil || !dt.Dominates(def.Block(), home) {
-					ok = false
-				}
+			if !availableAt(a) {
+				ok = false
 			}
 		}
 		if !ok {
 			break
 		}
 		cond, condOK := pathCondition(u, dt, trs, dom, phi.Dests[1], home, phi)
-		if !condOK || cond == nil {
+		if !condOK || cond == nil || !availableAt(cond) {
 			break
 		}
 		arr := &ir.Inst{Op: ir.OpArray, Ty: ir.ArrayType(2, phi.Ty), Args: []ir.Value{phi.Args[0], phi.Args[1]}}

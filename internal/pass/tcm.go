@@ -135,6 +135,35 @@ func singleExitPerTR(u *ir.Unit) bool {
 			if len(as) < 2 {
 				continue
 			}
+			// Routing several arcs through one aux block collapses the
+			// destination's per-arc phi entries into a single edge; that
+			// is only sound when every phi sees the same incoming value on
+			// all merged arcs. SSA values that genuinely differ per arc
+			// (loop-carried state like a FIFO memory) must keep their
+			// distinct edges, so such TRs keep multiple exits and their
+			// drives stay put.
+			mergeable := true
+			for _, in := range destBlock.Insts {
+				if in.Op != ir.OpPhi {
+					continue
+				}
+				var seen ir.Value
+				first := true
+				for i, pb := range in.Dests {
+					for _, a := range as {
+						if pb == a.from {
+							if first {
+								seen, first = in.Args[i], false
+							} else if in.Args[i] != seen {
+								mergeable = false
+							}
+						}
+					}
+				}
+			}
+			if !mergeable {
+				continue
+			}
 			aux := u.InsertBlockAfter(destBlock.ValueName()+"_aux", as[0].from)
 			auxTerm := &ir.Inst{Op: ir.OpBr, Ty: ir.VoidType(), Dests: []*ir.Block{destBlock}}
 			aux.Append(auxTerm)
@@ -142,20 +171,36 @@ func singleExitPerTR(u *ir.Unit) bool {
 				a.from.Terminator().Dests[a.slot] = aux
 			}
 			// Retarget phis in the destination: they now see aux as the
-			// single predecessor from this TR. Multiple incoming values
-			// from the merged arcs cannot be represented; such processes
-			// carry their values through drives, so drop extra entries.
+			// single predecessor from this TR. The merged arcs carry one
+			// common value (checked above), so the first entry is
+			// rewritten to the aux edge and the duplicates are dropped.
 			for _, in := range destBlock.Insts {
 				if in.Op != ir.OpPhi {
 					continue
 				}
+				args := in.Args[:0]
+				blocks := in.Dests[:0]
+				kept := false
 				for i, pb := range in.Dests {
+					merged := false
 					for _, a := range as {
 						if pb == a.from {
-							in.Dests[i] = aux
+							merged = true
+							break
 						}
 					}
+					if !merged {
+						args = append(args, in.Args[i])
+						blocks = append(blocks, pb)
+						continue
+					}
+					if !kept {
+						kept = true
+						args = append(args, in.Args[i])
+						blocks = append(blocks, aux)
+					}
 				}
+				in.Args, in.Dests = args, blocks
 			}
 			changed = true
 		}

@@ -28,6 +28,29 @@
 // per changed signal per instant, deterministic signal-ID order) in
 // bounded memory; TraceObserver buffers a full trace when a diffable
 // history is wanted.
+//
+// Running many simulations — a parameter sweep, a regression farm, or a
+// cross-engine differential check — goes through Farm, which shares one
+// frozen design (Module.Freeze) across all sessions and compiles the
+// blaze code exactly once (CompileBlaze, shared via FromCompiled). A
+// three-backend differential sweep of one design is three jobs:
+//
+//	obsI, obsB := &llhd.TraceObserver{}, &llhd.TraceObserver{}
+//	var farm llhd.Farm // zero value: GOMAXPROCS workers
+//	results := farm.Run(ctx,
+//	    llhd.FarmJob{Options: []llhd.SessionOption{llhd.FromModule(m),
+//	        llhd.Top("top_tb"), llhd.Backend(llhd.Interp), llhd.WithObserver(obsI)}},
+//	    llhd.FarmJob{Options: []llhd.SessionOption{llhd.FromModule(m),
+//	        llhd.Top("top_tb"), llhd.Backend(llhd.Blaze), llhd.WithObserver(obsB)}},
+//	    llhd.FarmJob{Options: []llhd.SessionOption{llhd.FromSystemVerilog(src),
+//	        llhd.Top("top_tb"), llhd.Backend(llhd.SVSim)}},
+//	)
+//	// results[i].Stats / .Err per job; obsI.Entries == obsB.Entries is the
+//	// §6.1 trace-equivalence check (examples/quickstart runs this sweep).
+//
+// All sharing is frozen-read-only: after Farm.Run's serial preparation
+// (freeze + compile), concurrent sessions take no locks anywhere on a
+// simulation path.
 package llhd
 
 import (

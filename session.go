@@ -78,6 +78,27 @@ func ParseEngineKind(s string) (EngineKind, error) {
 	return Interp, fmt.Errorf("llhd: unknown engine %q (want interp, blaze, or svsim)", s)
 }
 
+// CompiledDesign is an immutable, compile-once blaze artifact: the whole
+// design hierarchy compiled to closure arrays, shared read-only by every
+// session built from it (serial or concurrent). Produce one with
+// CompileBlaze and hand it to sessions via FromCompiled.
+type CompiledDesign = blaze.CompiledDesign
+
+// CompileBlaze freezes the module (Module.Freeze — structural mutation
+// afterwards panics) and compiles it once for the blaze engine. The
+// returned design is safe to share across concurrently running sessions;
+// per-session state (event queue, signals, register files) is created at
+// NewSession time. When top is empty the module's last entity is used.
+func CompileBlaze(m *Module, top string) (*CompiledDesign, error) {
+	if top == "" {
+		top = defaultTop(m)
+		if top == "" {
+			return nil, fmt.Errorf("llhd: module has no entity; pass a top name")
+		}
+	}
+	return blaze.Compile(m, top)
+}
+
 // SessionOption configures NewSession.
 type SessionOption func(*sessionConfig)
 
@@ -87,15 +108,17 @@ type observerSub struct {
 }
 
 type sessionConfig struct {
-	module    *Module
-	source    string
-	hasSource bool
-	top       string
-	backend   EngineKind
-	observers []observerSub
-	vcdOuts   []io.Writer
-	display   func(string)
-	onAssert  func(name string, t Time)
+	module     *Module
+	source     string
+	hasSource  bool
+	compiled   *CompiledDesign
+	top        string
+	backend    EngineKind
+	backendSet bool
+	observers  []observerSub
+	vcdOuts    []io.Writer
+	display    func(string)
+	onAssert   func(name string, t Time)
 }
 
 // FromModule simulates an already-built LLHD module (parsed assembly,
@@ -112,6 +135,14 @@ func FromSystemVerilog(src string) SessionOption {
 	return func(c *sessionConfig) { c.source = src; c.hasSource = true }
 }
 
+// FromCompiled simulates a precompiled blaze design (CompileBlaze). The
+// compiled code is immutable and shared: any number of sessions — serial
+// or concurrent — may be built from one CompiledDesign. Implies
+// Backend(Blaze); combining it with another explicit backend is an error.
+func FromCompiled(cd *CompiledDesign) SessionOption {
+	return func(c *sessionConfig) { c.compiled = cd }
+}
+
 // Top names the top unit (LLHD) or module (SystemVerilog) to elaborate.
 // When omitted on module input, the last entity in the module is used.
 func Top(name string) SessionOption {
@@ -120,7 +151,7 @@ func Top(name string) SessionOption {
 
 // Backend selects the simulation engine; the default is Interp.
 func Backend(k EngineKind) SessionOption {
-	return func(c *sessionConfig) { c.backend = k }
+	return func(c *sessionConfig) { c.backend = k; c.backendSet = true }
 }
 
 // WithObserver attaches a streaming observer. With no paths it receives
@@ -186,15 +217,34 @@ type Session struct {
 type flusher interface{ Flush() error }
 
 // NewSession elaborates a design on the selected engine and returns the
-// session handle. Exactly one of FromModule or FromSystemVerilog must be
-// given.
+// session handle. Exactly one of FromModule, FromSystemVerilog, or
+// FromCompiled must be given.
 func NewSession(opts ...SessionOption) (*Session, error) {
 	var cfg sessionConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.module == nil && !cfg.hasSource {
-		return nil, fmt.Errorf("llhd: NewSession needs FromModule or FromSystemVerilog")
+	return newSession(&cfg)
+}
+
+// newSession builds the session from an applied configuration. It is
+// shared by NewSession and the Farm, which prepares configs (freezing
+// modules, injecting precompiled designs) before fanning out.
+func newSession(cfg *sessionConfig) (*Session, error) {
+	if cfg.compiled != nil {
+		if cfg.module != nil || cfg.hasSource {
+			return nil, fmt.Errorf("llhd: FromCompiled excludes FromModule and FromSystemVerilog")
+		}
+		if cfg.backendSet && cfg.backend != Blaze {
+			return nil, fmt.Errorf("llhd: FromCompiled runs on the blaze engine, not %v", cfg.backend)
+		}
+		if cfg.top != "" && cfg.top != cfg.compiled.Top() {
+			return nil, fmt.Errorf("llhd: FromCompiled design was compiled for Top(%q), not %q",
+				cfg.compiled.Top(), cfg.top)
+		}
+		cfg.backend = Blaze
+	} else if cfg.module == nil && !cfg.hasSource {
+		return nil, fmt.Errorf("llhd: NewSession needs FromModule, FromSystemVerilog, or FromCompiled")
 	}
 	if cfg.module != nil && cfg.hasSource {
 		return nil, fmt.Errorf("llhd: FromModule and FromSystemVerilog are mutually exclusive")
@@ -216,6 +266,14 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 		s.sv, s.eng, s.top = sv, sv.Engine, cfg.top
 
 	case Interp, Blaze:
+		if cfg.compiled != nil {
+			bz, err := cfg.compiled.NewSimulator()
+			if err != nil {
+				return nil, err
+			}
+			s.eng, s.top = bz.Engine, cfg.compiled.Top()
+			break
+		}
 		m := cfg.module
 		if m == nil {
 			var err error
@@ -226,11 +284,7 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 		}
 		top := cfg.top
 		if top == "" {
-			for _, u := range m.Units {
-				if u.Kind == ir.UnitEntity {
-					top = u.Name
-				}
-			}
+			top = defaultTop(m)
 			if top == "" {
 				return nil, fmt.Errorf("llhd: module has no entity; pass Top(name)")
 			}
@@ -280,6 +334,18 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// defaultTop returns the module's last entity, the default top unit when
+// Top is omitted, or "" if the module has none.
+func defaultTop(m *Module) string {
+	top := ""
+	for _, u := range m.Units {
+		if u.Kind == ir.UnitEntity {
+			top = u.Name
+		}
+	}
+	return top
 }
 
 // init runs every process to its first suspension, exactly once.

@@ -259,12 +259,13 @@ func TestSessionTraceEquivalence(t *testing.T) {
 	}
 }
 
-// TestVCDGoldenRRArbiter validates the full waveform pipeline on a
-// Table 2 design: SystemVerilog in, session with WithVCD, byte-exact
-// standard VCD out. Regenerate with -update-golden after intentional
-// format or elaboration-naming changes.
-func TestVCDGoldenRRArbiter(t *testing.T) {
-	d, err := designs.ByName("rr_arbiter")
+// checkVCDGolden validates the full waveform pipeline on a Table 2
+// design: SystemVerilog in, session with WithVCD, byte-exact standard VCD
+// out. Regenerate with -update-golden after intentional format or
+// elaboration-naming changes.
+func checkVCDGolden(t *testing.T, designName string) {
+	t.Helper()
+	d, err := designs.ByName(designName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestVCDGoldenRRArbiter(t *testing.T) {
 		t.Fatalf("%d assertion failures", st.AssertionFailures)
 	}
 
-	golden := filepath.Join("testdata", "rr_arbiter.vcd")
+	golden := filepath.Join("testdata", designName+".vcd")
 	if *updateGolden {
 		if err := os.WriteFile(golden, []byte(got.String()), 0o644); err != nil {
 			t.Fatal(err)
@@ -306,3 +307,10 @@ func TestVCDGoldenRRArbiter(t *testing.T) {
 		t.Fatalf("VCD length differs from golden: got %d lines, want %d", len(gl), len(wl))
 	}
 }
+
+func TestVCDGoldenRRArbiter(t *testing.T) { checkVCDGolden(t, "rr_arbiter") }
+
+// TestVCDGoldenFifo pins scope naming on a second, deeper hierarchy (the
+// FIFO queue), so elaboration renames cannot slip through on a design the
+// rr_arbiter golden happens not to cover.
+func TestVCDGoldenFifo(t *testing.T) { checkVCDGolden(t, "fifo") }
