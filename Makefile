@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench bench-kernel bench-table2 bench-farm
+.PHONY: check build vet test test-race fuzz-smoke bench bench-kernel bench-table2 bench-farm
 
 # check is the tier-1 verification: the build, go vet, and the full test
 # suite must all pass.
@@ -12,8 +12,10 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order so hidden inter-test state
+# dependencies surface in CI instead of in the field.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # test-race runs the concurrency-exposed suites under the race detector:
 # the root package (session farm, 16 concurrent sessions per backend over
@@ -22,6 +24,13 @@ test:
 test-race:
 	$(GO) test -race -run 'TestConcurrent|TestFarm|TestSession|TestUnfrozen' .
 	$(GO) test -race ./internal/engine ./internal/sim ./internal/svsim
+
+# fuzz-smoke is the CI-sized differential fuzzing run: a fixed seed and a
+# bounded design count, so it is deterministic and time-boxed. Failing
+# designs are shrunk into fuzz-failures/ (uploaded as a CI artifact) and
+# fail the target. The full acceptance run is -n 1000.
+fuzz-smoke:
+	$(GO) run ./cmd/llhd-fuzz -seed 1 -n 200 -corpus fuzz-failures
 
 # bench regenerates the paper's evaluation benchmarks (Table 2/4, Figure 5).
 bench:

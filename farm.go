@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -142,8 +143,18 @@ func (f *Farm) Run(ctx context.Context, jobs ...FarmJob) []FarmResult {
 }
 
 // runFarmJob builds and runs one session, checking for cancellation
-// between batches of simulated instants.
-func runFarmJob(ctx context.Context, cfg *sessionConfig, until Time) (Finish, error) {
+// between batches of simulated instants. A panic inside the session (a
+// bug in an engine, or one provoked by a malformed design) is converted
+// into the job's error instead of crashing the whole farm: differential
+// harnesses treat "this design panics an engine" as a finding to report
+// and shrink, which requires the farm to survive it.
+func runFarmJob(ctx context.Context, cfg *sessionConfig, until Time) (stats Finish, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stats = Finish{}
+			err = fmt.Errorf("llhd: session panic: %v\n%s", r, debug.Stack())
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return Finish{}, err
 	}
@@ -165,6 +176,6 @@ func runFarmJob(ctx context.Context, cfg *sessionConfig, until Time) (Finish, er
 		s.Finish()
 		return Finish{}, err
 	}
-	stats := s.Finish()
+	stats = s.Finish()
 	return stats, s.Err()
 }

@@ -27,7 +27,8 @@ const (
 	tokColon
 	tokStar
 	tokDollar
-	tokX // the "x" in [4 x i8]
+	tokX      // the "x" in [4 x i8]
+	tokString // "01XZ": quoted logic-vector literal
 )
 
 type token struct {
@@ -129,6 +130,17 @@ func (l *lexer) next() (token, error) {
 			l.pos++
 		}
 		return mk(tokNumber)
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' && l.src[l.pos] != '\n' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) || l.src[l.pos] != '"' {
+			return token{}, fmt.Errorf("line %d: unterminated string literal", l.line)
+		}
+		tok := token{kind: tokString, text: l.src[start+1 : l.pos], line: l.line}
+		l.pos++
+		return tok, nil
 	case c == '%':
 		l.pos++
 		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"llhd/internal/ir"
+	"llhd/internal/logic"
 )
 
 // Parse reads LLHD assembly text and returns the module it describes.
@@ -36,10 +37,11 @@ type parser struct {
 	mod  *ir.Module
 
 	// Per-unit parsing state.
-	unit   *ir.Unit
-	values map[string]ir.Value
-	blocks map[string]*ir.Block
-	fixups []fixup
+	unit    *ir.Unit
+	values  map[string]ir.Value
+	blocks  map[string]*ir.Block
+	defined []*ir.Block // blocks in label-definition order
+	fixups  []fixup
 }
 
 // fixup records an operand slot that referenced a value by name before its
@@ -119,7 +121,9 @@ func (p *parser) parseType() (*ir.Type, error) {
 			base = ir.TimeType()
 		default:
 			n, err := strconv.Atoi(t.text[1:])
-			if err != nil {
+			if err != nil || n <= 0 {
+				// Zero/negative widths would panic the ir type
+				// constructors (crash found by FuzzAssemblyRoundTrip).
 				return nil, p.errorf("bad type %q", t.text)
 			}
 			switch t.text[0] {
@@ -137,7 +141,10 @@ func (p *parser) parseType() (*ir.Type, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, _ := strconv.Atoi(num.text)
+		n, convErr := strconv.Atoi(num.text)
+		if convErr != nil || n < 0 {
+			return nil, p.errorf("bad array length %q", num.text)
+		}
 		if _, err := p.expect(tokX, `"x"`); err != nil {
 			return nil, err
 		}
@@ -192,6 +199,7 @@ func (p *parser) unitDef(kind ir.UnitKind) error {
 	p.unit = u
 	p.values = map[string]ir.Value{}
 	p.blocks = map[string]*ir.Block{}
+	p.defined = nil
 	p.fixups = nil
 
 	// Inputs.
@@ -238,6 +246,7 @@ func (p *parser) unitDef(kind ir.UnitKind) error {
 				lbl := p.advance()
 				p.advance() // colon
 				cur = p.getBlock(lbl.text)
+				p.defined = append(p.defined, cur)
 			}
 			if cur == nil {
 				return p.errorf("instruction before the first block label in @%s", u.Name)
@@ -246,10 +255,27 @@ func (p *parser) unitDef(kind ir.UnitKind) error {
 				return err
 			}
 		}
-		// Move declared blocks into definition order: getBlock appends on
-		// first reference, which may be a forward branch; re-sort by first
-		// label occurrence is unnecessary because getBlock on label comes
-		// first in well-formed input that defines before branching back.
+		// Restore textual definition order: getBlock appends blocks on
+		// first *reference*, which for a forward branch precedes the label,
+		// so u.Blocks would otherwise depend on branch order and printing
+		// a parsed module would reorder its blocks (a round-trip
+		// instability found by FuzzAssemblyRoundTrip). Blocks referenced
+		// but never labeled keep their relative position at the end; the
+		// verifier reports them as terminator-less.
+		ordered := make([]*ir.Block, 0, len(u.Blocks))
+		seen := map[*ir.Block]bool{}
+		for _, b := range p.defined {
+			if !seen[b] {
+				seen[b] = true
+				ordered = append(ordered, b)
+			}
+		}
+		for _, b := range u.Blocks {
+			if !seen[b] {
+				ordered = append(ordered, b)
+			}
+		}
+		u.Blocks = ordered
 	}
 	p.advance() // }
 
@@ -265,7 +291,10 @@ func (p *parser) unitDef(kind ir.UnitKind) error {
 
 func (p *parser) isLabel() bool {
 	t := p.peek()
-	if (t.kind == tokIdent && !isTypeIdent(t.text)) || t.kind == tokLocal || t.kind == tokNumber {
+	// tokX: a block named "x" lexes as the array-type separator token but
+	// is a perfectly fine label (printers emit such names).
+	if (t.kind == tokIdent && !isTypeIdent(t.text)) || t.kind == tokLocal ||
+		t.kind == tokNumber || t.kind == tokX {
 		return p.toks[p.pos+1].kind == tokColon
 	}
 	return false
@@ -390,6 +419,22 @@ func (p *parser) instruction(b *ir.Block) error {
 				return err
 			}
 			in.TVal = tv
+		} else if ty.IsLogic() {
+			in.Op = ir.OpConstLogic
+			in.Ty = ty
+			lit, err := p.expect(tokString, `logic literal like "01XZ"`)
+			if err != nil {
+				return err
+			}
+			lv, err := logic.ParseVector(lit.text)
+			if err != nil {
+				return p.errorf("%v", err)
+			}
+			if len(lv) != ty.Width {
+				return p.errorf("logic literal %q has %d positions, type %s wants %d",
+					lit.text, len(lv), ty, ty.Width)
+			}
+			in.LVal = lv
 		} else {
 			in.Op = ir.OpConstInt
 			in.Ty = ty

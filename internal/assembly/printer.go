@@ -164,6 +164,8 @@ func (p *printer) inst(in *ir.Inst) {
 		p.printf("const %s %d", in.Ty, in.IVal)
 	case ir.OpConstTime:
 		p.printf("const time %s", in.TVal)
+	case ir.OpConstLogic:
+		p.printf("const %s %q", in.Ty, in.LVal.String())
 	case ir.OpArray:
 		p.printf("[%s", in.Ty.Elem)
 		for i, a := range in.Args {

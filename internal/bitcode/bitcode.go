@@ -14,10 +14,12 @@ import (
 	"fmt"
 
 	"llhd/internal/ir"
+	"llhd/internal/logic"
 )
 
-// magic identifies LLHD bitcode files ("LLHD" + version 1).
-var magic = []byte{'L', 'L', 'H', 'D', 1}
+// magic identifies LLHD bitcode files ("LLHD" + version 2; version 2
+// added the logic-constant payload to instruction records).
+var magic = []byte{'L', 'L', 'H', 'D', 2}
 
 // Encode serializes the module.
 func Encode(m *ir.Module) ([]byte, error) {
@@ -176,6 +178,10 @@ func (e *encoder) unit(w *bytes.Buffer, u *ir.Unit) error {
 			e.uvarint(w, uint64(int64(in.Imm1)))
 			e.uvarint(w, uint64(e.str(in.Callee)))
 			e.uvarint(w, uint64(in.NumIns))
+			e.uvarint(w, uint64(len(in.LVal)))
+			for _, lx := range in.LVal {
+				w.WriteByte(byte(lx))
+			}
 
 			e.uvarint(w, uint64(len(in.Args)))
 			for _, a := range in.Args {
@@ -597,6 +603,20 @@ func (d *decoder) inst() (*ir.Inst, *struct {
 		return nil, nil, err
 	}
 	in.NumIns = int(numIns)
+	nlogic, err := d.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if nlogic > 0 {
+		in.LVal = make(logic.Vector, nlogic)
+		for i := uint64(0); i < nlogic; i++ {
+			lb, err := d.buf.ReadByte()
+			if err != nil {
+				return nil, nil, err
+			}
+			in.LVal[i] = logic.Value(lb)
+		}
+	}
 
 	nargs, err := d.uvarint()
 	if err != nil {

@@ -227,6 +227,8 @@ func (c *compiler) constOperand(v ir.Value) (val.Value, bool) {
 			return val.Int(widthOf(in.Ty), in.IVal), true
 		case ir.OpConstTime:
 			return val.TimeVal(in.TVal), true
+		case ir.OpConstLogic:
+			return val.LogicVal(in.LVal.Clone()), true
 		}
 	}
 	if cv, ok := c.inst.ConstOf(v); ok {
@@ -319,7 +321,7 @@ func (c *compiler) compileTerm(b *ir.Block, in *ir.Inst) (func(p *proc, e *engin
 // compileStep compiles one non-terminator instruction.
 func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 	switch in.Op {
-	case ir.OpConstInt, ir.OpConstTime:
+	case ir.OpConstInt, ir.OpConstTime, ir.OpConstLogic:
 		cv, _ := c.constOperand(in)
 		c.consts = append(c.consts, constSlot{slot: c.slot(in), v: cv})
 		return nil, nil
@@ -564,7 +566,9 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 		return func(p *proc, e *engine.Engine) error {
 			choices := arr(p)
 			i := int(sel(p).Bits)
-			if i >= len(choices.Elems) {
+			// Unsigned selector: > MaxInt64 wraps negative and clamps
+			// high, mirroring val.Mux.
+			if i >= len(choices.Elems) || i < 0 {
 				i = len(choices.Elems) - 1
 			}
 			p.regs[d] = choices.Elems[i]
@@ -586,19 +590,30 @@ func (c *compiler) compileStep(in *ir.Inst) (step, error) {
 			return nil
 		}, nil
 
-	case ir.OpNot:
+	case ir.OpNot, ir.OpNeg:
 		d := c.slot(in)
 		a := c.operand(in.Args[0])
-		w := widthOf(in.Ty)
-		return func(p *proc, e *engine.Engine) error {
-			p.regs[d] = val.Int(w, ^a(p).Bits)
-			return nil
-		}, nil
-
-	case ir.OpNeg:
-		d := c.slot(in)
-		a := c.operand(in.Args[0])
-		w := widthOf(in.Ty)
+		op, ty := in.Op, in.Ty
+		if !ty.IsInt() && !ty.IsEnum() {
+			// Logic vectors take the nine-valued evaluator; the integer
+			// fast path below would clobber them with a val.Int (a blaze
+			// miscompile of "not lN" found by the differential fuzzer).
+			return func(p *proc, e *engine.Engine) error {
+				out, err := val.Unary(op, ty, a(p))
+				if err != nil {
+					return err
+				}
+				p.regs[d] = out
+				return nil
+			}, nil
+		}
+		w := widthOf(ty)
+		if op == ir.OpNot {
+			return func(p *proc, e *engine.Engine) error {
+				p.regs[d] = val.Int(w, ^a(p).Bits)
+				return nil
+			}, nil
+		}
 		return func(p *proc, e *engine.Engine) error {
 			p.regs[d] = val.Int(w, -a(p).Bits)
 			return nil

@@ -323,6 +323,10 @@ func EvalPure(in *ir.Inst, lookup func(ir.Value) (val.Value, bool)) (val.Value, 
 		return val.Int(widthOf(in.Ty), in.IVal), nil
 	case ir.OpConstTime:
 		return val.TimeVal(in.TVal), nil
+	case ir.OpConstLogic:
+		// Clone: consumers (frames, signal initializers) may retain or
+		// mutate the vector, and the IR node is shared.
+		return val.LogicVal(in.LVal.Clone()), nil
 	case ir.OpArray, ir.OpStruct:
 		elems := make([]val.Value, len(in.Args))
 		for i, a := range in.Args {

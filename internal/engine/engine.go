@@ -182,6 +182,14 @@ type Engine struct {
 	// Display receives llhd.display intrinsic output; nil discards.
 	Display func(s string)
 
+	// StepLimit, when positive, bounds the total number of time instants
+	// the engine may execute: exceeding it records a runtime error and
+	// stops the run. Unlike a wall-clock timeout it is deterministic, so
+	// differential harnesses use it to turn runaway simulations (delta
+	// storms, oscillating feedback introduced by a miscompile) into a
+	// reproducible failure instead of a hang.
+	StepLimit int
+
 	err        error
 	DeltaCount int // executed delta steps, for statistics
 	EventCount int // applied events, for statistics
@@ -422,6 +430,10 @@ func (e *Engine) heapPop() *timeSlot {
 // processes. It reports whether any work remains.
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 || e.err != nil {
+		return false
+	}
+	if e.StepLimit > 0 && e.DeltaCount >= e.StepLimit {
+		e.fail(fmt.Errorf("engine: step limit of %d instants exceeded at %v (livelock?)", e.StepLimit, e.Now))
 		return false
 	}
 	slot := e.heapPop()

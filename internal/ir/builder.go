@@ -1,6 +1,10 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+
+	"llhd/internal/logic"
+)
 
 // Builder constructs instructions inside a unit, mirroring LLVM's
 // IRBuilder. Each method appends one instruction to the current insertion
@@ -60,6 +64,13 @@ func (b *Builder) ConstInt(ty *Type, v uint64) *Inst {
 // ConstTime emits a time constant.
 func (b *Builder) ConstTime(t Time) *Inst {
 	return b.emit(&Inst{Op: OpConstTime, Ty: TimeType(), TVal: t})
+}
+
+// ConstLogic emits a nine-valued logic vector constant. The type width is
+// the vector length.
+func (b *Builder) ConstLogic(v logic.Vector) *Inst {
+	b.check(len(v) > 0, "const logic needs a non-empty vector")
+	return b.emit(&Inst{Op: OpConstLogic, Ty: LogicType(len(v)), LVal: v.Clone()})
 }
 
 // Array emits an array literal of the given element values.
@@ -158,6 +169,22 @@ func extResult(ty *Type, idx int) *Type {
 // ExtF emits an extract-field from an aggregate, pointer, or signal.
 func (b *Builder) ExtF(target Value, idx int) *Inst {
 	return b.emit(&Inst{Op: OpExtF, Ty: extResult(target.Type(), idx), Args: []Value{target}, Imm0: idx})
+}
+
+// ExtFDyn emits a dynamic-index element extract from an array. Out-of-range
+// indices clamp to the nearest valid element at runtime (the same lenient
+// convention Mux uses, so speculatively hoisted extracts cannot trap).
+func (b *Builder) ExtFDyn(target, idx Value) *Inst {
+	b.check(target.Type().IsArray(), "dynamic extf needs an array, got %s", target.Type())
+	return b.emit(&Inst{Op: OpExtF, Ty: target.Type().Elem, Args: []Value{target, idx}})
+}
+
+// InsFDyn emits a dynamic-index element insert into an array. Out-of-range
+// indices drop the write at runtime.
+func (b *Builder) InsFDyn(target, v, idx Value) *Inst {
+	b.check(target.Type().IsArray(), "dynamic insf needs an array, got %s", target.Type())
+	b.check(target.Type().Elem == v.Type(), "dynamic insf element type %s != %s", v.Type(), target.Type().Elem)
+	return b.emit(&Inst{Op: OpInsF, Ty: target.Type(), Args: []Value{target, v, idx}})
 }
 
 func extsResult(ty *Type, length int) *Type {

@@ -1,6 +1,10 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+
+	"llhd/internal/logic"
+)
 
 // Opcode identifies an LLHD instruction (§2.5 of the paper).
 type Opcode uint8
@@ -11,10 +15,11 @@ const (
 	OpInvalid Opcode = iota
 
 	// Constants and aggregates.
-	OpConstInt  // const iN K / const nN K
-	OpConstTime // const time T
-	OpArray     // [T v0, v1, ...]: array literal
-	OpStruct    // {v0, v1, ...}: struct literal
+	OpConstInt   // const iN K / const nN K
+	OpConstTime  // const time T
+	OpConstLogic // const lN "01XZ": nine-valued logic literal
+	OpArray      // [T v0, v1, ...]: array literal
+	OpStruct     // {v0, v1, ...}: struct literal
 
 	// Unary data flow.
 	OpNot // bitwise complement
@@ -95,6 +100,7 @@ var opNames = [...]string{
 	OpInvalid:     "<invalid>",
 	OpConstInt:    "const",
 	OpConstTime:   "const",
+	OpConstLogic:  "const",
 	OpArray:       "array",
 	OpStruct:      "struct",
 	OpNot:         "not",
@@ -166,7 +172,9 @@ func (op Opcode) IsTerminator() bool {
 }
 
 // IsConst reports whether op is a constant.
-func (op Opcode) IsConst() bool { return op == OpConstInt || op == OpConstTime }
+func (op Opcode) IsConst() bool {
+	return op == OpConstInt || op == OpConstTime || op == OpConstLogic
+}
 
 // IsBinary reports whether op is a two-operand pure data-flow instruction.
 func (op Opcode) IsBinary() bool { return op >= OpAnd && op <= OpAshr }
@@ -200,8 +208,8 @@ func (op Opcode) HasSideEffects() bool {
 // subject to CSE and hoisting.
 func (op Opcode) IsPure() bool {
 	switch op {
-	case OpConstInt, OpConstTime, OpArray, OpStruct, OpNot, OpNeg, OpMux,
-		OpInsF, OpInsS:
+	case OpConstInt, OpConstTime, OpConstLogic, OpArray, OpStruct, OpNot,
+		OpNeg, OpMux, OpInsF, OpInsS:
 		return true
 	}
 	if op.IsBinary() || op.IsCompare() {
@@ -273,6 +281,7 @@ type Inst struct {
 	// Immediates and op-specific payload.
 	IVal     uint64       // const int value (masked to width)
 	TVal     Time         // const time value
+	LVal     logic.Vector // const logic value (length = type width)
 	Imm0     int          // insf/extf index, inss/exts offset
 	Imm1     int          // inss/exts length
 	Callee   string       // call/inst target global name
@@ -380,6 +389,7 @@ func (in *Inst) Clone() *Inst {
 	cp.Args = append([]Value(nil), in.Args...)
 	cp.Dests = append([]*Block(nil), in.Dests...)
 	cp.Triggers = append([]RegTrigger(nil), in.Triggers...)
+	cp.LVal = in.LVal.Clone()
 	return &cp
 }
 

@@ -53,6 +53,15 @@ func (v *verifier) errorf(format string, args ...any) {
 	v.problems = append(v.problems, fmt.Sprintf(format, args...))
 }
 
+// instErrorf reports a problem anchored to one instruction: every message
+// names the unit, the containing block, and the instruction itself (result
+// name, or mnemonic for void instructions), so fuzzers and shrinkers can
+// act on the report without re-locating the fault.
+func (v *verifier) instErrorf(name string, b *Block, in *Inst, format string, args ...any) {
+	v.problems = append(v.problems,
+		fmt.Sprintf("%s: %s (%s) in %s: %s", name, in, in.Op, b, fmt.Sprintf(format, args...)))
+}
+
 // Verify checks the structural well-formedness of the module and that it is
 // legal at the requested level. It returns nil or a *VerifyError listing
 // every problem found.
@@ -117,6 +126,23 @@ func (v *verifier) verifyUnit(m *Module, u *Unit, level Level) {
 		v.verifyControlFlow(m, u, name)
 	}
 	v.verifyDefs(u, name)
+
+	// Calls and instantiations must resolve, in every unit kind —
+	// entities are where inst lives (gap found by the Verify error-path
+	// suite: an entity instantiating an undefined unit verified clean).
+	// Intrinsics (llhd.*) are exempt.
+	if m != nil {
+		u.ForEachInst(func(b *Block, in *Inst) {
+			if in.Op == OpCall && !strings.HasPrefix(in.Callee, "llhd.") {
+				if m.Unit(in.Callee) == nil {
+					v.instErrorf(name, b, in, "call to undefined @%s", in.Callee)
+				}
+			}
+			if in.Op == OpInst && m.Unit(in.Callee) == nil {
+				v.instErrorf(name, b, in, "inst of undefined @%s", in.Callee)
+			}
+		})
+	}
 }
 
 // entityOps lists the opcodes admissible in an entity body per level.
@@ -124,7 +150,8 @@ func entityOpAllowed(op Opcode, level Level) bool {
 	switch level {
 	case Netlist:
 		switch op {
-		case OpConstInt, OpConstTime, OpArray, OpStruct, OpSig, OpCon, OpDel, OpInst:
+		case OpConstInt, OpConstTime, OpConstLogic, OpArray, OpStruct,
+			OpSig, OpCon, OpDel, OpInst:
 			return true
 		}
 		return false
@@ -151,7 +178,7 @@ func (v *verifier) verifyEntity(u *Unit, level Level, name string) {
 		if !entityOpAllowed(in.Op, level) {
 			v.errorf("%s: instruction %s not allowed in entity at %s level", name, in.Op, level)
 		}
-		v.verifyInst(u, in, name)
+		v.verifyInst(u, u.Body(), in, name)
 	}
 }
 
@@ -168,7 +195,7 @@ func (v *verifier) verifyControlFlow(m *Module, u *Unit, name string) {
 			if in.Op.IsTerminator() && i != len(b.Insts)-1 {
 				v.errorf("%s: terminator %s in the middle of block %s", name, in.Op, b)
 			}
-			v.verifyInst(u, in, name)
+			v.verifyInst(u, b, in, name)
 
 			// Timing model (§2.4): immediate units may not suspend or
 			// touch signals; processes may not return.
@@ -197,7 +224,7 @@ func (v *verifier) verifyControlFlow(m *Module, u *Unit, name string) {
 				continue
 			}
 			if len(in.Args) != len(in.Dests) {
-				v.errorf("%s: phi arity mismatch in %s", name, b)
+				v.instErrorf(name, b, in, "phi arity mismatch (%d values, %d blocks)", len(in.Args), len(in.Dests))
 				continue
 			}
 			for _, pb := range in.Dests {
@@ -209,65 +236,59 @@ func (v *verifier) verifyControlFlow(m *Module, u *Unit, name string) {
 					}
 				}
 				if !found {
-					v.errorf("%s: phi in %s names non-predecessor %s", name, b, pb)
+					v.instErrorf(name, b, in, "phi names non-predecessor %s", pb)
 				}
 			}
 		}
 	}
 
-	// Calls must resolve (intrinsics are exempt).
-	if m != nil {
-		u.ForEachInst(func(_ *Block, in *Inst) {
-			if in.Op == OpCall && !strings.HasPrefix(in.Callee, "llhd.") {
-				if m.Unit(in.Callee) == nil {
-					v.errorf("%s: call to undefined @%s", name, in.Callee)
-				}
-			}
-			if in.Op == OpInst && m.Unit(in.Callee) == nil {
-				v.errorf("%s: inst of undefined @%s", name, in.Callee)
-			}
-		})
-	}
 }
 
-// verifyInst checks per-instruction operand typing.
-func (v *verifier) verifyInst(u *Unit, in *Inst, name string) {
+// verifyInst checks per-instruction operand typing. All problems are
+// anchored: they name the unit, the block, and the instruction.
+func (v *verifier) verifyInst(u *Unit, b *Block, in *Inst, name string) {
 	switch in.Op {
+	case OpConstLogic:
+		if !in.Ty.IsLogic() {
+			v.instErrorf(name, b, in, "logic constant needs lN type, got %s", in.Ty)
+		} else if len(in.LVal) != in.Ty.Width {
+			v.instErrorf(name, b, in, "logic constant value width %d does not match type %s", len(in.LVal), in.Ty)
+		}
 	case OpDrv:
 		if len(in.Args) < 3 {
-			v.errorf("%s: drv needs signal, value, delay", name)
+			v.instErrorf(name, b, in, "drv needs signal, value, delay")
 			return
 		}
 		if !in.Args[0].Type().IsSignal() {
-			v.errorf("%s: drv target must be a signal, got %s", name, in.Args[0].Type())
+			v.instErrorf(name, b, in, "drv target must be a signal, got %s", in.Args[0].Type())
 		} else if in.Args[0].Type().Elem != in.Args[1].Type() {
-			v.errorf("%s: drv value type %s does not match signal %s", name, in.Args[1].Type(), in.Args[0].Type())
+			v.instErrorf(name, b, in, "drv value type %s does not match signal %s", in.Args[1].Type(), in.Args[0].Type())
 		}
 		if !in.Args[2].Type().IsTime() {
-			v.errorf("%s: drv delay must be time, got %s", name, in.Args[2].Type())
+			v.instErrorf(name, b, in, "drv delay must be time, got %s", in.Args[2].Type())
 		}
 		if len(in.Args) == 4 && !in.Args[3].Type().IsBool() {
-			v.errorf("%s: drv condition must be i1, got %s", name, in.Args[3].Type())
+			v.instErrorf(name, b, in, "drv condition must be i1, got %s", in.Args[3].Type())
 		}
 	case OpPrb:
 		if len(in.Args) != 1 || !in.Args[0].Type().IsSignal() {
-			v.errorf("%s: prb needs one signal operand", name)
+			v.instErrorf(name, b, in, "prb needs one signal operand")
 		}
 	case OpReg:
 		if len(in.Args) != 1 || !in.Args[0].Type().IsSignal() {
-			v.errorf("%s: reg needs a signal target", name)
+			v.instErrorf(name, b, in, "reg needs a signal target")
 			return
 		}
 		elem := in.Args[0].Type().Elem
 		for _, t := range in.Triggers {
 			if t.Value.Type() != elem {
-				v.errorf("%s: reg stored value type %s does not match signal %s", name, t.Value.Type(), in.Args[0].Type())
+				v.instErrorf(name, b, in, "reg stored value type %s does not match signal %s", t.Value.Type(), in.Args[0].Type())
 			}
 			if !t.Trigger.Type().IsBool() {
-				v.errorf("%s: reg trigger must be i1, got %s", name, t.Trigger.Type())
+				v.instErrorf(name, b, in, "reg trigger must be i1, got %s", t.Trigger.Type())
 			}
 			if t.Gate != nil && !t.Gate.Type().IsBool() {
-				v.errorf("%s: reg gate must be i1, got %s", name, t.Gate.Type())
+				v.instErrorf(name, b, in, "reg gate must be i1, got %s", t.Gate.Type())
 			}
 		}
 	case OpBr:
@@ -275,43 +296,43 @@ func (v *verifier) verifyInst(u *Unit, in *Inst, name string) {
 		case len(in.Args) == 0 && len(in.Dests) == 1:
 		case len(in.Args) == 1 && len(in.Dests) == 2:
 			if !in.Args[0].Type().IsBool() {
-				v.errorf("%s: br condition must be i1, got %s", name, in.Args[0].Type())
+				v.instErrorf(name, b, in, "br condition must be i1, got %s", in.Args[0].Type())
 			}
 		default:
-			v.errorf("%s: malformed br (%d args, %d dests)", name, len(in.Args), len(in.Dests))
+			v.instErrorf(name, b, in, "malformed br (%d args, %d dests)", len(in.Args), len(in.Dests))
 		}
 	case OpWait:
 		if len(in.Dests) != 1 {
-			v.errorf("%s: wait needs exactly one resume block", name)
+			v.instErrorf(name, b, in, "wait needs exactly one resume block")
 		}
 		if in.TimeArg != nil && !in.TimeArg.Type().IsTime() {
-			v.errorf("%s: wait timeout must be time, got %s", name, in.TimeArg.Type())
+			v.instErrorf(name, b, in, "wait timeout must be time, got %s", in.TimeArg.Type())
 		}
 		for _, s := range in.Args {
 			if !s.Type().IsSignal() {
-				v.errorf("%s: wait observes non-signal %s", name, s.Type())
+				v.instErrorf(name, b, in, "wait observes non-signal %s", s.Type())
 			}
 		}
 	case OpMux:
 		if len(in.Args) != 2 || !in.Args[0].Type().IsArray() {
-			v.errorf("%s: mux needs array and selector", name)
+			v.instErrorf(name, b, in, "mux needs array and selector")
 		}
 	case OpLd:
 		if len(in.Args) != 1 || !in.Args[0].Type().IsPointer() {
-			v.errorf("%s: ld needs one pointer operand", name)
+			v.instErrorf(name, b, in, "ld needs one pointer operand")
 		}
 	case OpSt:
 		if len(in.Args) != 2 || !in.Args[0].Type().IsPointer() {
-			v.errorf("%s: st needs pointer and value", name)
+			v.instErrorf(name, b, in, "st needs pointer and value")
 		} else if in.Args[0].Type().Elem != in.Args[1].Type() {
-			v.errorf("%s: st value type %s does not match pointer %s", name, in.Args[1].Type(), in.Args[0].Type())
+			v.instErrorf(name, b, in, "st value type %s does not match pointer %s", in.Args[1].Type(), in.Args[0].Type())
 		}
 	}
 	if in.Op.IsBinary() || in.Op.IsCompare() {
 		if len(in.Args) != 2 {
-			v.errorf("%s: %s needs two operands", name, in.Op)
+			v.instErrorf(name, b, in, "%s needs two operands", in.Op)
 		} else if in.Args[0].Type() != in.Args[1].Type() {
-			v.errorf("%s: %s operand types differ: %s vs %s", name, in.Op, in.Args[0].Type(), in.Args[1].Type())
+			v.instErrorf(name, b, in, "operand types differ: %s vs %s", in.Args[0].Type(), in.Args[1].Type())
 		}
 	}
 }
@@ -336,8 +357,7 @@ func (v *verifier) verifyDefs(u *Unit, name string) {
 				return
 			}
 			if !defined[val] {
-				v.errorf("%s: %s in %s uses value %s defined outside the unit",
-					name, in.Op, b, val)
+				v.instErrorf(name, b, in, "uses value %s defined outside the unit", val)
 			}
 		})
 	})
@@ -359,7 +379,7 @@ func (v *verifier) verifyDefs(u *Unit, name string) {
 				continue
 			}
 			if !inPrefix {
-				v.errorf("%s: phi %s in %s follows a non-phi instruction", name, in, b)
+				v.instErrorf(name, b, in, "phi follows a non-phi instruction")
 			}
 			if len(in.Args) != len(in.Dests) {
 				continue // arity mismatch already reported by the inst check
@@ -373,8 +393,8 @@ func (v *verifier) verifyDefs(u *Unit, name string) {
 					continue // flagged by the membership check above
 				}
 				if dt.Reachable(pred) && dt.Reachable(def.block) && !dt.Dominates(def.block, pred) {
-					v.errorf("%s: phi %s in %s: value %s does not dominate edge predecessor %s",
-						name, in, b, in.Args[i], pred)
+					v.instErrorf(name, b, in, "value %s does not dominate edge predecessor %s",
+						in.Args[i], pred)
 				}
 			}
 		}
@@ -396,13 +416,11 @@ func (v *verifier) verifyDefs(u *Unit, name string) {
 					}
 					if def.block == b {
 						if !seen[def] {
-							v.errorf("%s: %s in %s uses %s before its definition",
-								name, in.Op, b, val)
+							v.instErrorf(name, b, in, "uses %s before its definition", val)
 						}
 					} else if def.block != nil && dt.Reachable(b) && dt.Reachable(def.block) &&
 						!dt.Dominates(def.block, b) {
-						v.errorf("%s: %s in %s uses %s whose definition does not dominate the use",
-							name, in.Op, b, val)
+						v.instErrorf(name, b, in, "uses %s whose definition does not dominate the use", val)
 					}
 				})
 			}

@@ -23,6 +23,9 @@ func cseKey(in *ir.Inst) string {
 	if in.Op == ir.OpConstTime {
 		fmt.Fprintf(&b, ":%v", in.TVal)
 	}
+	if in.Op == ir.OpConstLogic {
+		fmt.Fprintf(&b, ":%v", in.LVal)
+	}
 	args := in.Args
 	// Canonicalize commutative operand order by address.
 	if in.Op.IsCommutative() && len(args) == 2 {

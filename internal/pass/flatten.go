@@ -194,9 +194,25 @@ func forwardSignals(u *ir.Unit) (bool, error) {
 					ok = false // inst/con/del/reg/ext uses: keep the net
 				}
 			}
+			// Forwarding a drive that carries physical delay is only sound
+			// under the paper's synchronous abstraction — every probe of
+			// the net feeds an edge-triggered reg, whose next sampling
+			// edge is what makes the settling delay unobservable (Figure
+			// 5k's %d). For a net consumed by anything else, dropping a
+			// "drv ... after 1ns" stage shifts every downstream change a
+			// nanosecond early (miscompile found by the differential
+			// fuzzer, seed 484), so only zero-delay (delta) drives are
+			// forwarded there.
 			if ok && len(drives) == 1 && len(drives[0].Args) == 3 {
-				sig, drv = in, drives[0]
-				break
+				zeroDelay := false
+				if d, isInst := drives[0].Args[2].(*ir.Inst); isInst &&
+					d.Op == ir.OpConstTime && d.TVal.Fs == 0 {
+					zeroDelay = true
+				}
+				if zeroDelay || probesFeedOnlyRegs(uses, in) {
+					sig, drv = in, drives[0]
+					break
+				}
 			}
 		}
 		if sig == nil {
@@ -215,6 +231,25 @@ func forwardSignals(u *ir.Unit) (bool, error) {
 		changed = true
 	}
 	return changed, nil
+}
+
+// probesFeedOnlyRegs reports whether every probe of sig is consumed
+// exclusively by reg instructions — the synchronous-consumer condition
+// under which a settling delay on sig's driver may be abstracted away.
+func probesFeedOnlyRegs(uses map[ir.Value][]*ir.Inst, sig *ir.Inst) bool {
+	probed := false
+	for _, use := range uses[sig] {
+		if use.Op != ir.OpPrb {
+			continue
+		}
+		probed = true
+		for _, pu := range uses[use] {
+			if pu.Op != ir.OpReg {
+				return false
+			}
+		}
+	}
+	return probed
 }
 
 // regStoreSelf rewrites reg triggers whose stored value is

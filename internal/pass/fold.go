@@ -29,6 +29,9 @@ func foldUnit(u *ir.Unit) (bool, error) {
 			case ir.OpConstTime:
 				known[in] = val.TimeVal(in.TVal)
 				return
+			case ir.OpConstLogic:
+				known[in] = val.LogicVal(in.LVal.Clone())
+				return
 			}
 			if !in.Op.IsPure() {
 				return

@@ -279,7 +279,7 @@ func (h *initHoister) entryAvailable(v ir.Value, depth int, top bool) (ir.Value,
 	clone := &ir.Inst{
 		Op: in.Op, Ty: in.Ty,
 		Imm0: in.Imm0, Imm1: in.Imm1,
-		IVal: in.IVal, TVal: in.TVal,
+		IVal: in.IVal, TVal: in.TVal, LVal: in.LVal.Clone(),
 	}
 	for _, a := range in.Args {
 		ca, ok := h.entryAvailable(a, depth-1, false)

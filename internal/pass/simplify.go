@@ -33,6 +33,11 @@ func simplifyInst(in *ir.Inst) (ir.Value, bool) {
 		}
 	}
 	x := func(i int) ir.Value { return in.Args[i] }
+	// Two-valued identities (x&x=x, not(not x)=x, ...) do not hold in the
+	// nine-valued logic domain: And(W,W)=X and Not(Not(H))=1, so identity
+	// rewrites are restricted to integer/enum types (miscompile found by
+	// the differential fuzzer, seed 16).
+	intTy := in.Ty.IsInt() || in.Ty.IsEnum()
 
 	switch in.Op {
 	case ir.OpAnd:
@@ -44,7 +49,7 @@ func simplifyInst(in *ir.Inst) (ir.Value, bool) {
 				return x(0), false // x & ~0 = x
 			}
 		}
-		if x(0) == x(1) {
+		if x(0) == x(1) && intTy {
 			return x(0), false // x & x = x
 		}
 	case ir.OpOr:
@@ -56,7 +61,7 @@ func simplifyInst(in *ir.Inst) (ir.Value, bool) {
 				return k, false // x | ~0 = ~0
 			}
 		}
-		if x(0) == x(1) {
+		if x(0) == x(1) && intTy {
 			return x(0), false
 		}
 	case ir.OpXor:
@@ -81,8 +86,9 @@ func simplifyInst(in *ir.Inst) (ir.Value, bool) {
 			return x(0), false
 		}
 	case ir.OpNot:
-		// not(not x) = x
-		if inner, ok := x(0).(*ir.Inst); ok && inner.Op == ir.OpNot {
+		// not(not x) = x — integers only; nine-valued Not collapses weak
+		// and undefined states, so the round trip is lossy on logic.
+		if inner, ok := x(0).(*ir.Inst); ok && inner.Op == ir.OpNot && intTy {
 			return inner.Args[0], false
 		}
 	case ir.OpEq:

@@ -122,6 +122,36 @@ func mergeOnce(u *ir.Unit) bool {
 			}
 		}
 		if hasPhi {
+			// Soundness: retargeting makes each pred p of b an incoming
+			// block of dest's phis, carrying b's value. If a phi already
+			// has an entry for p (p also reaches dest through another
+			// edge) with a *different* value, the rewritten phi could no
+			// longer distinguish the two edges — the classic critical-edge
+			// hazard. A conditional "br %c, %b1, %b2" whose arms are both
+			// forwarders to dest hits this on the second elimination;
+			// collapsing it anyway rewrote the phi to one arbitrary arm
+			// (miscompile found by the differential fuzzer, seed 4).
+			safe := true
+			for _, in := range dest.Insts {
+				if in.Op != ir.OpPhi || !safe {
+					continue
+				}
+				for i, pb := range in.Dests {
+					if pb != b {
+						continue
+					}
+					for _, p := range preds[b] {
+						for j, qb := range in.Dests {
+							if j != i && qb == p && in.Args[j] != in.Args[i] {
+								safe = false
+							}
+						}
+					}
+				}
+			}
+			if !safe {
+				continue
+			}
 			// Rewrite the phi entries from b to each of b's preds.
 			for _, in := range dest.Insts {
 				if in.Op != ir.OpPhi {

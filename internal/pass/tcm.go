@@ -28,6 +28,25 @@ func tcmUnit(u *ir.Unit) (bool, error) {
 	exits := trs.ExitBlocks(u)
 	dt := ir.NewDomTree(u)
 
+	// Runtime order anchor: every block of a TR executes before the exit
+	// block's own instructions, so drives moved into the exit must land
+	// *before* any drive the exit already contains — appending them after
+	// would flip the override order coalesceDrives resolves (a miscompile
+	// found by the differential fuzzer, seed 16: a per-iteration loop
+	// drive appended after the post-loop drive stole its final value).
+	anchor := map[*ir.Block]*ir.Inst{}
+	for _, ex := range exits {
+		if len(ex) != 1 {
+			continue
+		}
+		for _, in := range ex[0].Insts {
+			if in.Op == ir.OpDrv {
+				anchor[ex[0]] = in
+				break
+			}
+		}
+	}
+
 	// Step 2: move drvs into the exiting block of their TR (§4.3.3).
 	for _, b := range u.Blocks {
 		tr := trs.Of[b]
@@ -64,23 +83,26 @@ func tcmUnit(u *ir.Unit) (bool, error) {
 			if !operandsOK {
 				continue
 			}
-			cond, ok := pathCondition(u, dt, trs, dom, b, exit, exit.Terminator())
+			before := anchor[exit]
+			if before == nil {
+				before = exit.Terminator()
+			}
+			cond, ok := pathCondition(u, dt, trs, dom, b, exit, before)
 			if !ok {
 				continue
 			}
 			b.Remove(drv)
-			term := exit.Terminator()
 			if cond != nil {
 				if len(drv.Args) == 4 {
 					// AND with the drive's own condition.
 					and := &ir.Inst{Op: ir.OpAnd, Ty: ir.IntType(1), Args: []ir.Value{drv.Args[3], cond}}
-					exit.InsertBefore(and, term)
+					exit.InsertBefore(and, before)
 					drv.Args[3] = and
 				} else {
 					drv.Args = append(drv.Args, cond)
 				}
 			}
-			exit.InsertBefore(drv, term)
+			exit.InsertBefore(drv, before)
 			changed = true
 		}
 	}

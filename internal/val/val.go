@@ -304,7 +304,9 @@ func Mux(choices Value, sel Value) (Value, error) {
 		return Value{}, fmt.Errorf("val: mux needs a non-empty aggregate")
 	}
 	i := int(sel.Bits)
-	if i >= len(choices.Elems) {
+	// The selector is unsigned: a value above MaxInt64 wraps negative in
+	// the int conversion and is just as out-of-range as i >= len.
+	if i >= len(choices.Elems) || i < 0 {
 		i = len(choices.Elems) - 1
 	}
 	return choices.Elems[i].Clone(), nil

@@ -51,6 +51,22 @@
 // All sharing is frozen-read-only: after Farm.Run's serial preparation
 // (freeze + compile), concurrent sessions take no locks anywhere on a
 // simulation path.
+//
+// The engines also check each other: internal/fuzz generates seeded
+// random well-typed designs over the full instruction surface and farms
+// each one across {Interp, Blaze} × {unlowered, lowered}, diffing the
+// observer streams; failures shrink automatically to minimal .llhd
+// repros. Run it as
+//
+//	llhd-fuzz -seed 1 -n 1000            # CLI: deterministic by seed
+//	go test -fuzz FuzzDifferential ./internal/fuzz
+//
+// (flags: -seed, -n, -budget, -corpus; output is byte-reproducible for a
+// fixed seed, and design i of a run reproduces alone via -seed S+i -n 1).
+// Checked-in findings live in testdata/corpus/ and replay on every test
+// run. WithStepLimit bounds a session to a deterministic number of
+// instants, which is how the harness turns miscompile-induced
+// oscillation into a reproducible failure instead of a hang.
 package llhd
 
 import (

@@ -119,6 +119,7 @@ type sessionConfig struct {
 	vcdOuts    []io.Writer
 	display    func(string)
 	onAssert   func(name string, t Time)
+	stepLimit  int
 }
 
 // FromModule simulates an already-built LLHD module (parsed assembly,
@@ -181,6 +182,16 @@ func WithDisplay(f func(string)) SessionOption {
 // (counting into Finish.AssertionFailures) with f.
 func WithAssertHandler(f func(name string, t Time)) SessionOption {
 	return func(c *sessionConfig) { c.onAssert = f }
+}
+
+// WithStepLimit bounds the session to n time instants (delta cycles
+// included): exceeding the budget stops the run with an error. Unlike a
+// wall-clock timeout the bound is deterministic, which is what the
+// differential fuzzing harness needs — a miscompile that oscillates
+// forever becomes a reproducible failure instead of a hang. Zero or
+// negative n means unlimited (the default).
+func WithStepLimit(n int) SessionOption {
+	return func(c *sessionConfig) { c.stepLimit = n }
 }
 
 // Finish is the final statistics of a simulation session.
@@ -311,6 +322,9 @@ func newSession(cfg *sessionConfig) (*Session, error) {
 
 	if cfg.display != nil {
 		s.eng.Display = cfg.display
+	}
+	if cfg.stepLimit > 0 {
+		s.eng.StepLimit = cfg.stepLimit
 	}
 	if cfg.onAssert != nil {
 		s.eng.OnAssert = cfg.onAssert

@@ -1,0 +1,18 @@
+// Three-engine corpus entry: .sv files replay through the SVSim AST
+// engine in addition to the four LLHD legs, compared through the
+// embedded self-check. A clocked counter with a final assertion.
+module toggle_tb;
+  bit clk;
+  bit [7:0] count;
+  initial begin
+    automatic int i;
+    for (i = 0; i < 10; i = i + 1) begin
+      clk <= #5ns 1;
+      clk <= #10ns 0;
+      #10ns;
+    end
+    #5ns;
+    assert(count == 8'd10);
+  end
+  always_ff @(posedge clk) count <= count + 1;
+endmodule
