@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race fuzz-smoke bench bench-kernel bench-table2 bench-farm
+.PHONY: check build vet test test-race test-timeout fuzz-smoke bench bench-kernel bench-table2 bench-farm
 
 # check is the tier-1 verification: the build, go vet, and the full test
 # suite must all pass.
@@ -19,11 +19,18 @@ test:
 
 # test-race runs the concurrency-exposed suites under the race detector:
 # the root package (session farm, 16 concurrent sessions per backend over
-# one frozen design, concurrent VCD writers), the kernel, the reference
+# one frozen design, concurrent VCD writers, the fault-injection matrix
+# with its in-coroutine svsim panic recovery), the kernel, the reference
 # interpreter, and svsim (coroutine handoff).
 test-race:
-	$(GO) test -race -run 'TestConcurrent|TestFarm|TestSession|TestUnfrozen' .
+	$(GO) test -race -run 'TestConcurrent|TestFarm|TestSession|TestUnfrozen|TestFault|TestGovernance|TestPoisoned' .
 	$(GO) test -race ./internal/engine ./internal/sim ./internal/svsim
+
+# test-timeout is the hang guard: the whole suite must finish inside a
+# hard wall-clock budget, so a containment or governance regression that
+# turns a failure into a livelock fails CI instead of stalling it.
+test-timeout:
+	$(GO) test -timeout 120s ./...
 
 # fuzz-smoke is the CI-sized differential fuzzing run: a fixed seed and a
 # bounded design count, so it is deterministic and time-boxed. Failing

@@ -7,17 +7,26 @@
 // Usage:
 //
 //	llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us]
-//	         [-vcd out.vcd] [-trace] [-j N] design.{llhd,bc,sv}
+//	         [-steps N] [-timeout 30s] [-vcd out.vcd] [-trace] [-j N]
+//	         design.{llhd,bc,sv}
 //
 // With -j N the design is run as a concurrent sweep: N independent
 // sessions over one shared frozen design (one blaze compile, N register
 // files), reporting aggregate throughput — the smallest deployment of the
 // llhd.Farm. -trace and -vcd apply to single sessions only.
+//
+// Exit status distinguishes the failure classes of the runtime's error
+// taxonomy: 0 for a clean run, 1 for assertion failures (or input
+// errors), 2 when a resource quota stopped the run (-steps, -timeout, or
+// a library-imposed limit), 3 for an internal runtime error or contained
+// engine panic — the structured diagnostic (failure kind, instant,
+// process, stack for panics) is printed to stderr.
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,17 +38,34 @@ import (
 	"llhd/internal/ir"
 )
 
+const usageText = `usage: llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us]
+                [-steps N] [-timeout 30s] [-vcd out.vcd] [-trace] [-j N]
+                design.{llhd,bc,sv}
+
+exit status: 0 ok | 1 assertion failures or input errors
+             2 resource quota exceeded (step/deadline/event/memory limit,
+               cancellation) | 3 internal runtime error or engine panic
+
+flags:
+`
+
 func main() {
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
 	top := flag.String("top", "", "top unit to elaborate (default: last entity in the module; required for -engine svsim)")
 	engineName := flag.String("engine", "interp", "simulation engine: interp, blaze, or svsim")
 	limit := flag.String("t", "", "simulation time limit, e.g. 100us (default: run to quiescence)")
+	steps := flag.Int("steps", 0, "deterministic instant budget: stop with exit status 2 after N instants (0: unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget: stop with exit status 2 after this long (0: unlimited)")
 	trace := flag.Bool("trace", false, "stream every signal change to stdout")
 	vcdPath := flag.String("vcd", "", "write the waveform as VCD to this file")
 	jobs := flag.Int("j", 1, "run N concurrent sessions over one shared frozen design (sweep mode)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: llhd-sim [-top name] [-engine interp|blaze|svsim] [-t 100us] [-vcd out.vcd] [-trace] [-j N] design.{llhd,bc,sv}")
-		os.Exit(2)
+		flag.Usage()
+		os.Exit(1)
 	}
 	if *jobs > 1 && (*trace || *vcdPath != "") {
 		fatal(fmt.Errorf("-j %d is a throughput sweep; -trace and -vcd need a single session", *jobs))
@@ -69,6 +95,12 @@ func main() {
 	}
 	if *top != "" {
 		opts = append(opts, llhd.Top(*top))
+	}
+	if *steps > 0 {
+		opts = append(opts, llhd.WithStepLimit(*steps))
+	}
+	if *timeout > 0 {
+		opts = append(opts, llhd.WithDeadline(time.Now().Add(*timeout)))
 	}
 
 	// Source selection: bitcode by magic, SystemVerilog by extension (or
@@ -176,7 +208,30 @@ func (printObserver) OnChange(t llhd.Time, sig *llhd.Signal, v llhd.Value) {
 	fmt.Printf("%-14v %s = %s\n", t, sig.Name, v)
 }
 
+// fatal prints the diagnostic and exits with the taxonomy-derived status:
+// 2 for quota/cancellation errors, 3 for internal runtime errors and
+// contained panics, 1 for everything else (I/O, parse, configuration).
+// Structured runtime errors print their full context — kind, failing
+// instant, executing process, and the captured stack for panics.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "llhd-sim:", err)
-	os.Exit(1)
+	var re *llhd.RuntimeError
+	code := 1
+	switch {
+	case errors.Is(err, llhd.ErrStepLimit), errors.Is(err, llhd.ErrDeadline),
+		errors.Is(err, llhd.ErrCanceled), errors.Is(err, llhd.ErrMemoryLimit),
+		errors.Is(err, llhd.ErrEventLimit):
+		code = 2
+	case errors.As(err, &re):
+		code = 3 // internal runtime error or contained panic
+	}
+	if errors.As(err, &re) {
+		fmt.Fprintf(os.Stderr, "llhd-sim: failure class %s at %v (%d instants, %d events",
+			llhd.ErrorClass(err), re.Time, re.DeltaSteps, re.Events)
+		if re.Proc != "" {
+			fmt.Fprintf(os.Stderr, ", proc %s", re.Proc)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	}
+	os.Exit(code)
 }

@@ -1,0 +1,50 @@
+package llhd
+
+import "llhd/internal/engine"
+
+// RuntimeError is the structured simulation failure every engine error
+// resolves to: the taxonomy kind, the underlying cause, the recovered
+// panic value and stack for contained panics, and the simulation context
+// at the point of failure (instant, executed instants, applied events,
+// executing process). Match kinds with errors.Is against the Err*
+// sentinels; get at the context with errors.As:
+//
+//	var re *llhd.RuntimeError
+//	if errors.As(err, &re) {
+//	    log.Printf("failed in %s at %v after %d instants", re.Proc, re.Time, re.DeltaSteps)
+//	}
+type RuntimeError = engine.RuntimeError
+
+// The error taxonomy: every runtime failure a Session or Farm reports is
+// classified as exactly one of these sentinel kinds, carried by a
+// *RuntimeError. errors.Is matches both the kind and the cause chain
+// (e.g. a cancellation matches ErrCanceled and context.Canceled).
+var (
+	// ErrStepLimit: the deterministic instant budget (WithStepLimit, or an
+	// engine's internal livelock guard) was exhausted.
+	ErrStepLimit = engine.ErrStepLimit
+	// ErrDeadline: the wall-clock bound (WithDeadline, or a context
+	// deadline) passed.
+	ErrDeadline = engine.ErrDeadline
+	// ErrCanceled: the WithContext context was cancelled.
+	ErrCanceled = engine.ErrCanceled
+	// ErrMemoryLimit: the approximate heap watermark (WithMemoryLimit) was
+	// exceeded.
+	ErrMemoryLimit = engine.ErrMemoryLimit
+	// ErrEventLimit: the event quota (WithEventLimit) was exceeded.
+	ErrEventLimit = engine.ErrEventLimit
+	// ErrAssertFailed: an assertion failure was promoted to an error.
+	ErrAssertFailed = engine.ErrAssertFailed
+	// ErrInternal: an engine defect or a design that provoked one — a
+	// contained panic, a malformed drive, an interpreter fault.
+	ErrInternal = engine.ErrInternal
+)
+
+// ErrorClass returns the stable short slug of an error's taxonomy kind:
+// "step-limit", "deadline", "canceled", "memory-limit", "event-limit",
+// "assert", "panic" (a RuntimeError holding a recovered panic),
+// "internal", or "error" for errors outside the taxonomy. The fuzzer's
+// failure classes and llhd-sim's exit codes are derived from it.
+func ErrorClass(err error) string {
+	return engine.KindName(err)
+}

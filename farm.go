@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"llhd/internal/engine"
 )
 
 // FarmJob is one simulation to run: a session configuration (the same
@@ -30,10 +32,15 @@ type FarmResult struct {
 	// call's job list).
 	Name  string
 	Index int
-	// Stats carries the session's final statistics; valid when Err is nil.
+	// Stats carries the session's final statistics. When Err is non-nil
+	// they still report the partial progress up to the failure (zero if
+	// the job failed before its session ran).
 	Stats Finish
 	// Err is the first error of the job: session construction, runtime,
-	// deferred output (VCD flush), or context cancellation.
+	// deferred output (VCD flush), or context cancellation. Runtime
+	// failures are classified *RuntimeError values — match them with
+	// errors.Is against the Err* sentinels; contained panics carry the
+	// recovered value and stack (kind ErrInternal).
 	Err error
 }
 
@@ -142,40 +149,39 @@ func (f *Farm) Run(ctx context.Context, jobs ...FarmJob) []FarmResult {
 	return results
 }
 
-// runFarmJob builds and runs one session, checking for cancellation
-// between batches of simulated instants. A panic inside the session (a
-// bug in an engine, or one provoked by a malformed design) is converted
-// into the job's error instead of crashing the whole farm: differential
-// harnesses treat "this design panics an engine" as a finding to report
-// and shrink, which requires the farm to survive it.
+// runFarmJob builds and runs one session under the farm's context. The
+// session boundary is the containment layer: panics inside Run/Finish (a
+// bug in an engine, or one provoked by a malformed design) come back as
+// classified *RuntimeError values with the captured stack, so
+// differential harnesses can treat "this design panics an engine" as a
+// debuggable finding to report and shrink. The deferred recover here is
+// the farm's last-resort backstop for the phases outside any session
+// (config application, construction); it captures the stack the same
+// way. Cancellation of the farm context is polled by the engine at batch
+// granularity (engine.DefaultGovernBatch instants), so long-running jobs
+// stop promptly with an ErrCanceled-classified result.
 func runFarmJob(ctx context.Context, cfg *sessionConfig, until Time) (stats Finish, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			stats = Finish{}
-			err = fmt.Errorf("llhd: session panic: %v\n%s", r, debug.Stack())
+			err = &engine.RuntimeError{
+				Kind: engine.ErrInternal, Recovered: r, Stack: debug.Stack(),
+			}
 		}
 	}()
-	if err := ctx.Err(); err != nil {
-		return Finish{}, err
+	if cerr := ctx.Err(); cerr != nil {
+		return Finish{}, &engine.RuntimeError{Kind: engine.Classify(cerr), Cause: cerr}
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = ctx // job-level WithContext wins; the farm ctx is the default
 	}
 	s, err := newSession(cfg)
 	if err != nil {
 		return Finish{}, err
 	}
-	// Batch size trades cancellation latency against per-batch overhead;
-	// 4096 instants keep both negligible.
-	const batch = 4096
-	s.init()
-	for s.eng.RunBudget(until, batch) {
-		if err := ctx.Err(); err != nil {
-			s.Finish()
-			return Finish{}, err
-		}
-	}
-	if err := s.eng.Err(); err != nil {
-		s.Finish()
-		return Finish{}, err
-	}
+	runErr := s.RunUntil(until)
 	stats = s.Finish()
+	if runErr != nil {
+		return stats, runErr
+	}
 	return stats, s.Err()
 }

@@ -1,0 +1,143 @@
+package llhd_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"llhd"
+)
+
+// spinSession builds a session over the never-quiescing spin design —
+// the subject for every quota test, since it only stops when governance
+// stops it. The batch granularity is forced to 1 so each test observes
+// the very first poll that can trip its limit.
+func spinSession(t *testing.T, kind llhd.EngineKind, extra ...llhd.SessionOption) *llhd.Session {
+	t.Helper()
+	m, err := llhd.ParseAssembly("spin", spinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]llhd.SessionOption{
+		llhd.FromModule(m), llhd.Backend(kind), llhd.WithGovernBatch(1),
+	}, extra...)
+	s, err := llhd.NewSession(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestGovernanceQuotas exercises each resource-governance option against
+// a design that never quiesces, on both kernel-based backends, and
+// checks that the run stops with the matching taxonomy sentinel.
+func TestGovernanceQuotas(t *testing.T) {
+	until := llhd.Time{Fs: 1_000_000_000} // 1ms: far beyond any quota below
+	for _, kind := range []llhd.EngineKind{llhd.Interp, llhd.Blaze} {
+		t.Run(kind.String()+"/event-limit", func(t *testing.T) {
+			s := spinSession(t, kind, llhd.WithEventLimit(3))
+			err := s.RunUntil(until)
+			if !errors.Is(err, llhd.ErrEventLimit) {
+				t.Fatalf("err = %v, want ErrEventLimit", err)
+			}
+			if got := llhd.ErrorClass(err); got != "event-limit" {
+				t.Fatalf("class = %q", got)
+			}
+		})
+		t.Run(kind.String()+"/deadline", func(t *testing.T) {
+			s := spinSession(t, kind, llhd.WithDeadline(time.Now().Add(-time.Second)))
+			err := s.RunUntil(until)
+			if !errors.Is(err, llhd.ErrDeadline) {
+				t.Fatalf("err = %v, want ErrDeadline", err)
+			}
+		})
+		t.Run(kind.String()+"/canceled", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			s := spinSession(t, kind, llhd.WithContext(ctx))
+			err := s.RunUntil(until)
+			if !errors.Is(err, llhd.ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, must also match context.Canceled", err)
+			}
+		})
+		t.Run(kind.String()+"/memory-limit", func(t *testing.T) {
+			s := spinSession(t, kind, llhd.WithMemoryLimit(1)) // 1 byte: trips at first poll
+			err := s.RunUntil(until)
+			if !errors.Is(err, llhd.ErrMemoryLimit) {
+				t.Fatalf("err = %v, want ErrMemoryLimit", err)
+			}
+		})
+		t.Run(kind.String()+"/step-limit", func(t *testing.T) {
+			s := spinSession(t, kind, llhd.WithStepLimit(5))
+			err := s.RunUntil(until)
+			if !errors.Is(err, llhd.ErrStepLimit) {
+				t.Fatalf("err = %v, want ErrStepLimit", err)
+			}
+			if got := llhd.ErrorClass(err); got != "step-limit" {
+				t.Fatalf("class = %q", got)
+			}
+		})
+	}
+}
+
+// TestGovernanceRuntimeErrorContext checks that a quota failure carries
+// the structured failure context: the instant, progress counters, and a
+// kind that survives wrapping.
+func TestGovernanceRuntimeErrorContext(t *testing.T) {
+	s := spinSession(t, llhd.Interp, llhd.WithEventLimit(3))
+	err := s.RunUntil(llhd.Time{Fs: 1_000_000_000})
+	var re *llhd.RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("quota error is not a *RuntimeError: %v", err)
+	}
+	if re.DeltaSteps <= 0 || re.Events <= 0 {
+		t.Errorf("failure context has no progress: %+v", re)
+	}
+	st := s.Finish()
+	if st.DeltaSteps != re.DeltaSteps || st.Events != re.Events {
+		t.Errorf("Finish stats %+v disagree with failure context %+v", st, re)
+	}
+}
+
+// TestGovernanceViaFarm checks the same quotas hold when the session is
+// driven by the farm: each job stops on its own limit and reports the
+// classified error through FarmResult.Err.
+func TestGovernanceViaFarm(t *testing.T) {
+	m, err := llhd.ParseAssembly("spin", spinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	until := llhd.Time{Fs: 1_000_000_000} // 1ms: far beyond any quota below
+	var farm llhd.Farm
+	results := farm.Run(context.Background(),
+		llhd.FarmJob{Name: "events", Until: until, Options: []llhd.SessionOption{
+			llhd.FromModule(m), llhd.WithEventLimit(3), llhd.WithGovernBatch(1),
+		}},
+		llhd.FarmJob{Name: "deadline", Until: until, Options: []llhd.SessionOption{
+			llhd.FromModule(m), llhd.WithDeadline(time.Now().Add(-time.Second)), llhd.WithGovernBatch(1),
+		}},
+		llhd.FarmJob{Name: "steps", Until: until, Options: []llhd.SessionOption{
+			llhd.FromModule(m), llhd.WithStepLimit(5),
+		}},
+	)
+	wants := map[string]error{
+		"events":   llhd.ErrEventLimit,
+		"deadline": llhd.ErrDeadline,
+		"steps":    llhd.ErrStepLimit,
+	}
+	for _, r := range results {
+		want := wants[r.Name]
+		if !errors.Is(r.Err, want) {
+			t.Errorf("%s: err = %v, want %v", r.Name, r.Err, want)
+		}
+		// The expired deadline trips at the first poll, before any
+		// instant runs — zero progress is the correct partial result.
+		if r.Name != "deadline" && r.Stats.DeltaSteps <= 0 {
+			t.Errorf("%s: no partial stats: %+v", r.Name, r.Stats)
+		}
+	}
+}

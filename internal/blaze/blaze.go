@@ -195,5 +195,5 @@ func (p *proc) run(e *engine.Engine) {
 			p.cur = next
 		}
 	}
-	e.SetError(fmt.Errorf("blaze: %s: step budget exhausted", p.name))
+	e.SetError(fmt.Errorf("blaze: %s: step budget exhausted: %w", p.name, engine.ErrStepLimit))
 }

@@ -1,9 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"slices"
+	"time"
 
+	"llhd/internal/faultinject"
 	"llhd/internal/ir"
 	"llhd/internal/val"
 )
@@ -190,28 +194,144 @@ type Engine struct {
 	// reproducible failure instead of a hang.
 	StepLimit int
 
+	// Resource governance. All four limits are polled only at batch
+	// boundaries (every GovernBatch instants inside Run, and at each
+	// RunBudget call), never per event or per wake: the hot paths pay
+	// nothing for governance. StepLimit above is the exception — it is a
+	// single integer compare per instant and stays in Step for exactness.
+	//
+	// Ctx, when non-nil, cancels the run: cancellation is classified
+	// ErrCanceled (or ErrDeadline for a context deadline) with ctx.Err()
+	// as the cause. Deadline, when non-zero, is a wall-clock bound checked
+	// against time.Now. EventLimit, when positive, bounds applied plus
+	// currently queued events. MemLimit, when positive, is an approximate
+	// heap watermark (runtime.ReadMemStats HeapAlloc), read only at batch
+	// granularity because ReadMemStats is expensive.
+	Ctx        context.Context
+	Deadline   time.Time
+	EventLimit int
+	MemLimit   uint64
+	// GovernBatch is the polling granularity in instants; 0 means the
+	// DefaultGovernBatch. Tests shrink it to make polls prompt.
+	GovernBatch int
+
+	// FaultHook, when non-nil, is invoked at every scheduling point with
+	// the point's category; a returned error is recorded as the engine's
+	// runtime error, and a panic propagates to the containment layer
+	// above. It exists for the deterministic fault-injection harness
+	// (internal/faultinject) and is only ever installed by test binaries;
+	// when nil each site costs one comparison.
+	FaultHook func(faultinject.Point) error
+
+	// running is the ProcID of the process currently being initialized or
+	// woken, NoProc between wakes; RuntimeError diagnostics resolve it to
+	// a name. It is a plain int store on the wake path.
+	running ProcID
+
 	err        error
 	DeltaCount int // executed delta steps, for statistics
 	EventCount int // applied events, for statistics
 }
 
+// DefaultGovernBatch is the default governance polling granularity: the
+// number of instants executed between quota/cancellation checks. 4096
+// keeps both the per-batch overhead and the cancellation latency
+// negligible.
+const DefaultGovernBatch = 4096
+
 // New returns an empty engine.
 func New() *Engine {
-	e := &Engine{slots: map[ir.Time]*timeSlot{}}
+	e := &Engine{slots: map[ir.Time]*timeSlot{}, running: NoProc}
 	e.OnAssert = func(string, ir.Time) { e.Failures++ }
 	return e
 }
 
-// Err returns the first runtime error encountered, if any.
+// Err returns the first runtime error encountered, if any. It is sticky:
+// once set, Run, RunBudget, and Step refuse to execute further work.
 func (e *Engine) Err() error { return e.err }
 
 // SetError records a runtime error; the first error wins and stops Run.
-func (e *Engine) SetError(err error) { e.fail(err) }
-
-func (e *Engine) fail(err error) {
-	if e.err == nil {
-		e.err = err
+// Errors that are not already a *RuntimeError are classified (Classify)
+// and wrapped with the engine's current scheduling context, so every
+// error Err returns carries the taxonomy.
+func (e *Engine) SetError(err error) {
+	if e.err != nil || err == nil {
+		return
 	}
+	if _, ok := err.(*RuntimeError); ok {
+		e.err = err
+		return
+	}
+	e.err = e.Capture(Classify(err), err, nil, nil)
+}
+
+func (e *Engine) fail(err error) { e.SetError(err) }
+
+// RunningProc names the process currently being initialized or woken, ""
+// when the engine is between process executions.
+func (e *Engine) RunningProc() string {
+	if e.running >= 0 && int(e.running) < len(e.procs) {
+		return e.procs[e.running].proc.Name()
+	}
+	return ""
+}
+
+// governed reports whether any batch-granularity governance (or the
+// fault-injection hook, which shares the batch poll) is configured.
+func (e *Engine) governed() bool {
+	return e.Ctx != nil || !e.Deadline.IsZero() ||
+		e.EventLimit > 0 || e.MemLimit > 0 || e.FaultHook != nil
+}
+
+func (e *Engine) governBatch() int {
+	if e.GovernBatch > 0 {
+		return e.GovernBatch
+	}
+	return DefaultGovernBatch
+}
+
+// pollGovernance runs one batch-boundary check of every configured
+// limit, recording the first violation as a classified RuntimeError. It
+// reports whether the run may continue.
+func (e *Engine) pollGovernance() bool {
+	if e.err != nil {
+		return false
+	}
+	if e.FaultHook != nil {
+		if err := e.FaultHook(faultinject.PointBatch); err != nil {
+			e.SetError(err)
+			return false
+		}
+	}
+	if e.Ctx != nil {
+		if err := e.Ctx.Err(); err != nil {
+			e.SetError(e.Capture(Classify(err), err, nil, nil))
+			return false
+		}
+	}
+	if !e.Deadline.IsZero() && time.Now().After(e.Deadline) {
+		e.SetError(e.Capture(ErrDeadline,
+			fmt.Errorf("engine: wall-clock deadline passed at %v (%d instants executed)",
+				e.Now, e.DeltaCount), nil, nil))
+		return false
+	}
+	if e.EventLimit > 0 && e.EventCount+e.pending > e.EventLimit {
+		e.SetError(e.Capture(ErrEventLimit,
+			fmt.Errorf("engine: event limit of %d exceeded at %v (%d applied, %d queued)",
+				e.EventLimit, e.Now, e.EventCount, e.pending), nil, nil))
+		return false
+	}
+	if e.MemLimit > 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > e.MemLimit {
+			e.SetError(e.Capture(ErrMemoryLimit,
+				fmt.Errorf("engine: heap watermark %d bytes exceeds the %d byte limit at %v (%d events queued)",
+					ms.HeapAlloc, e.MemLimit, e.Now, e.pending), nil, nil))
+			return false
+		}
+	}
+	return true
 }
 
 // NewSignal registers a new signal net with the given initial value.
@@ -433,9 +553,18 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	if e.StepLimit > 0 && e.DeltaCount >= e.StepLimit {
-		e.fail(fmt.Errorf("engine: step limit of %d instants exceeded at %v (livelock?)", e.StepLimit, e.Now))
+		e.fail(e.Capture(ErrStepLimit,
+			fmt.Errorf("engine: step limit of %d instants exceeded at %v (livelock?)", e.StepLimit, e.Now),
+			nil, nil))
 		return false
 	}
+	if e.FaultHook != nil {
+		if err := e.FaultHook(faultinject.PointStep); err != nil {
+			e.fail(err)
+			return false
+		}
+	}
+	e.running = NoProc
 	slot := e.heapPop()
 	delete(e.slots, slot.time)
 	if e.lastSlot == slot {
@@ -457,7 +586,7 @@ func (e *Engine) Step() bool {
 		}
 		newWhole, err := inject(ev.ref.Sig.value, ev.value, ev.ref.Path)
 		if err != nil {
-			e.fail(fmt.Errorf("drive %s: %w", ev.ref.Sig.Name, err))
+			e.fail(e.Capture(ErrInternal, fmt.Errorf("drive %s: %w", ev.ref.Sig.Name, err), nil, nil))
 			e.pending -= len(slot.events) - i - 1 // discarded with the slot
 			e.changedScratch = changed
 			e.releaseSlot(slot)
@@ -526,7 +655,15 @@ func (e *Engine) Step() bool {
 			pe.gen++
 			e.unsubscribe(pe, id)
 		}
+		if e.FaultHook != nil {
+			if err := e.FaultHook(faultinject.PointWake); err != nil {
+				e.fail(err)
+				return false
+			}
+		}
+		e.running = id
 		pe.proc.Wake(e)
+		e.running = NoProc
 		if e.err != nil {
 			return false
 		}
@@ -551,7 +688,18 @@ func (e *Engine) unsubscribe(pe *procEntry, id ProcID) {
 // zero. Call it exactly once before Run or Step.
 func (e *Engine) Init() {
 	for i := range e.procs {
+		if e.err != nil {
+			return
+		}
+		if e.FaultHook != nil {
+			if err := e.FaultHook(faultinject.PointInit); err != nil {
+				e.fail(err)
+				return
+			}
+		}
+		e.running = ProcID(i)
 		e.procs[i].proc.Init(e)
+		e.running = NoProc
 		if e.err != nil {
 			return
 		}
@@ -561,23 +709,41 @@ func (e *Engine) Init() {
 // Run simulates until the event queue drains or physical time exceeds
 // limit (limit.Fs == 0 means no limit). It returns the number of time
 // instants executed: each counts exactly once, including the final one.
+// When governance is configured (context, deadline, event or memory
+// limit) the run is internally batched and the limits polled every
+// GovernBatch instants; ungoverned runs keep the tight loop.
 func (e *Engine) Run(limit ir.Time) int {
 	steps := 0
-	for len(e.heap) > 0 && e.err == nil {
-		if limit.Fs > 0 && e.heap[0].time.Fs > limit.Fs {
-			break
+	if !e.governed() {
+		for len(e.heap) > 0 && e.err == nil {
+			if limit.Fs > 0 && e.heap[0].time.Fs > limit.Fs {
+				break
+			}
+			e.Step()
+			steps++
 		}
-		e.Step()
-		steps++
+		return steps
 	}
-	return steps
+	for {
+		before := e.DeltaCount
+		more := e.RunBudget(limit, e.governBatch())
+		steps += e.DeltaCount - before
+		if !more {
+			return steps
+		}
+	}
 }
 
 // RunBudget simulates like Run but executes at most budget time instants,
 // so callers (the session farm) can interleave cancellation checks with
 // batches of work. It reports whether runnable work remains within the
-// limit. The per-instant execution path is identical to Run's.
+// limit. Configured governance limits are polled once per call — this is
+// the batch boundary of the governance contract; the per-instant
+// execution path is identical to Run's.
 func (e *Engine) RunBudget(limit ir.Time, budget int) (more bool) {
+	if e.governed() && !e.pollGovernance() {
+		return false
+	}
 	for budget > 0 && len(e.heap) > 0 && e.err == nil {
 		if limit.Fs > 0 && e.heap[0].time.Fs > limit.Fs {
 			return false

@@ -1,0 +1,84 @@
+// Package faultinject provides deterministic fault injection at the
+// engine's scheduling points, for exercising the runtime's containment
+// paths (panic recovery, quota classification, context cancellation)
+// from table-driven tests.
+//
+// The engine exposes a single optional hook (Engine.FaultHook) that it
+// invokes at every scheduling point with the point's category; when the
+// hook is nil — always, outside tests — each site costs one nil check
+// and the hook machinery is dead code. Production code never installs a
+// hook: the only installer is the test-only llhd.WithFaultHook option,
+// defined in an _test.go file and therefore compiled into test binaries
+// only.
+//
+// Injection is deterministic: the engine's scheduling is deterministic,
+// so "the k-th wake" or "the 3rd batch boundary" names the same
+// execution point on every run, making every containment test a
+// reproducible single-step scenario rather than a race.
+package faultinject
+
+import "fmt"
+
+// Point categorizes the engine's scheduling points, the places a fault
+// can be injected.
+type Point uint8
+
+const (
+	// PointInit fires before each process's time-zero initialization.
+	PointInit Point = iota
+	// PointStep fires at the start of each time instant (delta cycles
+	// included), before its events apply.
+	PointStep
+	// PointWake fires before each process wake within an instant.
+	PointWake
+	// PointBatch fires at each governance poll, i.e. once per RunBudget
+	// batch boundary.
+	PointBatch
+
+	// NumPoints is the number of scheduling-point categories.
+	NumPoints
+)
+
+// String names the point for diagnostics and test labels.
+func (p Point) String() string {
+	switch p {
+	case PointInit:
+		return "init"
+	case PointStep:
+		return "step"
+	case PointWake:
+		return "wake"
+	case PointBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// Plan describes one injected fault: at the K-th occurrence (0-based) of
+// the matching scheduling-point category, Fire runs exactly once. Fire
+// may panic (exercising panic containment) or return an error (recorded
+// by the engine as its runtime error — wrap a taxonomy sentinel to force
+// a classified quota hit); it may also cancel a context and return nil,
+// letting the cancellation surface through the normal governance poll.
+type Plan struct {
+	Point Point
+	K     int
+	Fire  func() error
+}
+
+// Hook builds the engine hook for the plan. Each call returns an
+// independent hook with its own occurrence counter, so one Plan can arm
+// many engines (e.g. every session of a farm) identically.
+func (p *Plan) Hook() func(Point) error {
+	n := 0
+	return func(pt Point) error {
+		if pt != p.Point {
+			return nil
+		}
+		n++
+		if n-1 != p.K {
+			return nil
+		}
+		return p.Fire()
+	}
+}

@@ -1,0 +1,48 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPlanFiresExactlyOnceAtKthMatch(t *testing.T) {
+	boom := errors.New("boom")
+	p := &Plan{Point: PointWake, K: 2, Fire: func() error { return boom }}
+	hook := p.Hook()
+	seq := []struct {
+		pt   Point
+		want error
+	}{
+		{PointWake, nil},  // occurrence 0
+		{PointStep, nil},  // other points don't advance the counter
+		{PointWake, nil},  // occurrence 1
+		{PointWake, boom}, // occurrence 2: the K-th match fires
+		{PointWake, nil},  // fired already: armed no more
+	}
+	for i, s := range seq {
+		if got := hook(s.pt); got != s.want {
+			t.Fatalf("call %d at %v: got %v, want %v", i, s.pt, got, s.want)
+		}
+	}
+}
+
+func TestHookCountersAreIndependent(t *testing.T) {
+	boom := errors.New("boom")
+	p := &Plan{Point: PointInit, K: 0, Fire: func() error { return boom }}
+	h1, h2 := p.Hook(), p.Hook()
+	if h1(PointInit) != boom || h2(PointInit) != boom {
+		t.Fatal("each Hook() must carry its own counter")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	wants := map[Point]string{PointInit: "init", PointStep: "step", PointWake: "wake", PointBatch: "batch"}
+	for pt, want := range wants {
+		if pt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", pt, pt.String(), want)
+		}
+	}
+	if int(NumPoints) != len(wants) {
+		t.Errorf("NumPoints = %d, want %d", NumPoints, len(wants))
+	}
+}

@@ -40,14 +40,37 @@ func (o Options) lower() func(*llhd.Module) error {
 }
 
 // Failure is one differential finding: the reason (deterministic text,
-// stable for a fixed seed) and the assembly of the offending design in its
-// unlowered form — the shrinker's input and the corpus repro format.
+// stable for a fixed seed), the assembly of the offending design in its
+// unlowered form — the shrinker's input and the corpus repro format —
+// and the failure class.
 type Failure struct {
 	Reason string
 	Text   string
+	// Class is the stable failure-class slug the shrinker's same-class
+	// rule compares: runtime failures carry the error taxonomy's class
+	// (engine.KindName — "step-limit", "panic", ...), oracle clause
+	// violations their clause slug ("trace-divergence", "verify", ...).
+	Class string
 }
 
 func (f *Failure) Error() string { return f.Reason }
+
+// class returns the failure class, falling back to the legacy
+// reason-string bucketing for Failure values built without one (e.g.
+// hand-constructed in tests).
+func (f *Failure) class() string {
+	if f.Class != "" {
+		return f.Class
+	}
+	return failureClass(f.Reason)
+}
+
+// classifyLegErr maps a farm-leg error to its failure class through the
+// structured error taxonomy — errors.Is on the RuntimeError kinds
+// instead of string matching.
+func classifyLegErr(err error) string {
+	return engine.KindName(err)
+}
 
 // CheckModule runs the cross-engine differential oracle over one design.
 // mk must produce structurally identical fresh modules on every call (a
@@ -75,7 +98,8 @@ func CheckModule(mk func() (*ir.Module, error), top string, opt Options) *Failur
 	}
 	text := assembly.String(m1)
 	fail := func(format string, args ...any) *Failure {
-		return &Failure{Reason: fmt.Sprintf(format, args...), Text: text}
+		reason := fmt.Sprintf(format, args...)
+		return &Failure{Reason: reason, Text: text, Class: failureClass(reason)}
 	}
 	if err := ir.Verify(m1, ir.Behavioural); err != nil {
 		return fail("unlowered design fails ir.Verify: %v", err)
@@ -126,10 +150,14 @@ func CheckModule(mk func() (*ir.Module, error), top string, opt Options) *Failur
 	results := farm.Run(nil, jobs...)
 	for _, r := range results {
 		if r.Err != nil {
-			return fail("%s: %s", r.Name, deterministicErr(r.Err))
+			f := fail("%s: %s", r.Name, deterministicErr(r.Err))
+			f.Class = classifyLegErr(r.Err)
+			return f
 		}
 		if r.Stats.AssertionFailures != 0 {
-			return fail("%s: %d assertion failures", r.Name, r.Stats.AssertionFailures)
+			f := fail("%s: %d assertion failures", r.Name, r.Stats.AssertionFailures)
+			f.Class = "assert"
+			return f
 		}
 	}
 
@@ -415,10 +443,11 @@ func CheckSV(name, src, top string, opt Options) *Failure {
 		},
 	})
 	if results[0].Err != nil {
-		return &Failure{Reason: fmt.Sprintf("svsim: %v", results[0].Err), Text: src}
+		return &Failure{Reason: fmt.Sprintf("svsim: %s", deterministicErr(results[0].Err)),
+			Text: src, Class: classifyLegErr(results[0].Err)}
 	}
 	if n := results[0].Stats.AssertionFailures; n != 0 {
-		return &Failure{Reason: fmt.Sprintf("svsim: %d assertion failures", n), Text: src}
+		return &Failure{Reason: fmt.Sprintf("svsim: %d assertion failures", n), Text: src, Class: "assert"}
 	}
 	return nil
 }

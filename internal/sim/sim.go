@@ -128,7 +128,7 @@ func (p *procInterp) run(e *engine.Engine) {
 			return
 		}
 	}
-	e.SetError(fmt.Errorf("sim: %s: step budget exhausted (livelock?)", p.inst.Name))
+	e.SetError(fmt.Errorf("sim: %s: step budget exhausted (livelock?): %w", p.inst.Name, engine.ErrStepLimit))
 }
 
 // value resolves an operand to its runtime value.

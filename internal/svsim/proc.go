@@ -2,6 +2,7 @@ package svsim
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"llhd/internal/engine"
 	"llhd/internal/ir"
@@ -108,9 +109,15 @@ const (
 
 func (p *astProc) main() {
 	defer func() {
-		// A panic here would deadlock the kernel; convert to an error.
+		// A panic here would deadlock the kernel; convert to a classified
+		// RuntimeError (the kernel goroutine is blocked in the wake
+		// handoff, so reading its context is race-free) and halt cleanly.
 		if r := recover(); r != nil {
-			p.e.SetError(fmt.Errorf("svsim: %s: %v", p.name, r))
+			re := p.e.Capture(engine.ErrInternal, nil, r, debug.Stack())
+			if re.Proc == "" {
+				re.Proc = p.name
+			}
+			p.e.SetError(re)
 			p.yieldCh <- yieldMsg{halt: true}
 		}
 	}()

@@ -67,6 +67,36 @@
 // run. WithStepLimit bounds a session to a deterministic number of
 // instants, which is how the harness turns miscompile-induced
 // oscillation into a reproducible failure instead of a hang.
+//
+// # Errors and resource governance
+//
+// The runtime never lets a failure escape the Session boundary as a
+// crash. Every entry point (Run, RunUntil, Step, Probe, Finish) recovers
+// engine panics into a *RuntimeError that records the failure context —
+// the simulated instant, delta-step and event counters, the executing
+// process, the recovered value, and the goroutine stack. Failures
+// classify into a sentinel taxonomy matched with errors.Is:
+//
+//	ErrStepLimit    WithStepLimit budget exhausted (or a livelock guard)
+//	ErrDeadline     WithDeadline wall-clock budget passed
+//	ErrCanceled     the WithContext context was canceled
+//	ErrEventLimit   WithEventLimit event quota exceeded
+//	ErrMemoryLimit  WithMemoryLimit heap watermark exceeded
+//	ErrAssertFailed an assertion failure promoted to an error
+//	ErrInternal     contained panic or other internal runtime error
+//
+// ErrorClass maps any error to its stable class slug ("panic",
+// "canceled", "event-limit", ...), and causes stay matchable through the
+// wrap: a canceled run satisfies both ErrCanceled and context.Canceled.
+//
+// A failed session is poisoned: the first error is sticky, every
+// subsequent call returns it, Finish still reports the valid partial
+// statistics up to the failure instant, and a VCD stream is flushed
+// well-formed up to that instant. Governance limits are polled at batch
+// granularity (thousands of instants), never per event, so the
+// simulation hot paths pay nothing for them; only WithStepLimit is exact
+// to the instant. Farm workers contain panics the same way, surfacing
+// them through FarmResult.Err with partial FarmResult.Stats.
 package llhd
 
 import (

@@ -1,11 +1,15 @@
 package llhd
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"time"
 
 	"llhd/internal/blaze"
 	"llhd/internal/engine"
+	"llhd/internal/faultinject"
 	"llhd/internal/ir"
 	"llhd/internal/moore"
 	"llhd/internal/sim"
@@ -120,6 +124,19 @@ type sessionConfig struct {
 	display    func(string)
 	onAssert   func(name string, t Time)
 	stepLimit  int
+
+	// Resource governance (see the With* options). All polled at batch
+	// granularity by the engine; zero values mean unlimited.
+	ctx        context.Context
+	deadline   time.Time
+	eventLimit int
+	memLimit   uint64
+
+	// Test-only knobs: the fault-injection hook and the governance batch
+	// size. Installed exclusively through options defined in _test.go
+	// files (see internal/faultinject).
+	faultHook   func(faultinject.Point) error
+	governBatch int
 }
 
 // FromModule simulates an already-built LLHD module (parsed assembly,
@@ -185,13 +202,55 @@ func WithAssertHandler(f func(name string, t Time)) SessionOption {
 }
 
 // WithStepLimit bounds the session to n time instants (delta cycles
-// included): exceeding the budget stops the run with an error. Unlike a
-// wall-clock timeout the bound is deterministic, which is what the
-// differential fuzzing harness needs — a miscompile that oscillates
-// forever becomes a reproducible failure instead of a hang. Zero or
-// negative n means unlimited (the default).
+// included): exceeding the budget stops the run with an error matching
+// ErrStepLimit. Unlike a wall-clock timeout the bound is deterministic,
+// which is what the differential fuzzing harness needs — a miscompile
+// that oscillates forever becomes a reproducible failure instead of a
+// hang. Zero or negative n means unlimited (the default).
 func WithStepLimit(n int) SessionOption {
 	return func(c *sessionConfig) { c.stepLimit = n }
+}
+
+// WithContext subjects the session to the context: when ctx is cancelled
+// the run stops with an error matching ErrCanceled (ErrDeadline for a
+// context deadline) and, through its cause, ctx.Err(). Cancellation is
+// polled at batch granularity (a few thousand instants), never per
+// event, so the hot paths are unaffected; a long-running simulation
+// stops within one batch of the cancellation.
+func WithContext(ctx context.Context) SessionOption {
+	return func(c *sessionConfig) { c.ctx = ctx }
+}
+
+// WithDeadline bounds the session by wall-clock time: once t passes, the
+// run stops with an error matching ErrDeadline. Like all governance it
+// is polled at batch granularity. For a deterministic bound prefer
+// WithStepLimit; the deadline is the backstop against livelocks whose
+// instants are individually slow.
+func WithDeadline(t time.Time) SessionOption {
+	return func(c *sessionConfig) { c.deadline = t }
+}
+
+// WithEventLimit bounds the total event traffic — applied events plus
+// the current queue depth — to n: exceeding it stops the run with an
+// error matching ErrEventLimit. The quota is checked at batch
+// granularity, so a run may overshoot by the events of one batch. Zero
+// or negative n means unlimited (the default).
+func WithEventLimit(n int) SessionOption {
+	return func(c *sessionConfig) {
+		if n > 0 {
+			c.eventLimit = n
+		}
+	}
+}
+
+// WithMemoryLimit bounds the session by an approximate process-heap
+// watermark: when runtime.ReadMemStats reports more than limit bytes of
+// live heap at a batch boundary, the run stops with an error matching
+// ErrMemoryLimit. The watermark is process-wide and approximate — it
+// exists to stop a pathological design from exhausting the host, not to
+// meter a session precisely. Zero means unlimited (the default).
+func WithMemoryLimit(limit uint64) SessionOption {
+	return func(c *sessionConfig) { c.memLimit = limit }
 }
 
 // Finish is the final statistics of a simulation session.
@@ -213,6 +272,18 @@ type Finish struct {
 // RunUntil) or single-step (Step), probe signals at any point, and call
 // Finish to collect statistics and release engine resources.
 //
+// The session is a containment boundary: a panic anywhere below it — in
+// the kernel, an engine, or code a malformed design provoked — never
+// escapes Run, RunUntil, Step, Probe, or Finish. It is recovered,
+// converted into a *RuntimeError carrying the simulation context (kind
+// ErrInternal, the recovered value, the stack, the failing instant and
+// process), and the session becomes poisoned: every subsequent call
+// returns the same sticky error (also available as Err), Finish still
+// reports the statistics accumulated up to the failure, and attached VCD
+// writers are flushed so the waveform is well-formed up to the failure
+// instant. Classified quota errors (ErrStepLimit, ErrDeadline, ...) are
+// equally sticky, recorded by the engine itself.
+//
 // A Session is not safe for concurrent use.
 type Session struct {
 	eng     *engine.Engine
@@ -223,6 +294,7 @@ type Session struct {
 	inited  bool
 	stopped bool
 	err     error // first deferred error (e.g. a VCD flush in Finish)
+	fatal   error // sticky poisoning error from a contained panic
 }
 
 type flusher interface{ Flush() error }
@@ -326,6 +398,14 @@ func newSession(cfg *sessionConfig) (*Session, error) {
 	if cfg.stepLimit > 0 {
 		s.eng.StepLimit = cfg.stepLimit
 	}
+	s.eng.Ctx = cfg.ctx
+	s.eng.Deadline = cfg.deadline
+	s.eng.EventLimit = cfg.eventLimit
+	s.eng.MemLimit = cfg.memLimit
+	s.eng.FaultHook = cfg.faultHook
+	if cfg.governBatch > 0 {
+		s.eng.GovernBatch = cfg.governBatch
+	}
 	if cfg.onAssert != nil {
 		s.eng.OnAssert = cfg.onAssert
 	}
@@ -370,6 +450,37 @@ func (s *Session) init() {
 	}
 }
 
+// contain is the deferred panic barrier of every Session entry point: it
+// converts a panic from the kernel or an engine into a classified
+// *RuntimeError (kind ErrInternal) carrying the recovered value, the
+// stack, and the failing instant/process, poisons the session with it,
+// and flushes attached VCD streams so the waveform on disk is
+// well-formed up to the failure instant.
+func (s *Session) contain(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	re := s.eng.Capture(engine.ErrInternal, nil, r, debug.Stack())
+	s.eng.SetError(re) // stop the engine; first error wins
+	if s.fatal == nil {
+		s.fatal = re
+	}
+	s.safeFlushVCD()
+	if errp != nil {
+		*errp = s.fatal
+	}
+}
+
+// safeFlushVCD flushes VCD output without letting a writer defect escape
+// the containment path.
+func (s *Session) safeFlushVCD() {
+	defer func() { recover() }() //nolint:errcheck // best-effort on the failure path
+	if err := s.flushVCD(); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
 // Run simulates until the event queue drains, then flushes attached VCD
 // streams. It returns the first runtime or write error.
 func (s *Session) Run() error { return s.RunUntil(Time{}) }
@@ -377,20 +488,30 @@ func (s *Session) Run() error { return s.RunUntil(Time{}) }
 // RunUntil simulates until the event queue drains or physical time would
 // exceed the limit (zero limit: unbounded). Events beyond the limit stay
 // queued, so alternating RunUntil and Probe implements co-simulation
-// against an external model.
-func (s *Session) RunUntil(limit Time) error {
+// against an external model. VCD streams are flushed even when the run
+// fails, so the waveform is well-formed up to the failure instant.
+func (s *Session) RunUntil(limit Time) (err error) {
+	if s.fatal != nil {
+		return s.fatal
+	}
+	defer s.contain(&err)
 	s.init()
 	s.eng.Run(limit)
+	ferr := s.flushVCD()
 	if err := s.eng.Err(); err != nil {
 		return err
 	}
-	return s.flushVCD()
+	return ferr
 }
 
 // Step executes a single time instant (one (fs, delta, eps) point) and
 // reports whether any scheduled work remains. The first call also runs
 // the time-zero initialization.
 func (s *Session) Step() (more bool, err error) {
+	if s.fatal != nil {
+		return false, s.fatal
+	}
+	defer s.contain(&err)
 	s.init()
 	more = s.eng.Step()
 	return more, s.eng.Err()
@@ -399,12 +520,17 @@ func (s *Session) Step() (more bool, err error) {
 // Now returns the current simulation time.
 func (s *Session) Now() Time { return s.eng.Now }
 
-// Err returns the first error the session encountered: a runtime error
-// from the engine, or a deferred output error (such as a VCD write
-// failure flushed by Finish). Run, RunUntil, and Step return errors as
-// they happen; Err is the catch-all for stepped sessions that only learn
-// of output failures at Finish.
+// Err returns the first error the session encountered: the sticky
+// poisoning error of a contained panic, a runtime error from the engine
+// (always a *RuntimeError — classify with errors.Is against the Err*
+// sentinels), or a deferred output error (such as a VCD write failure
+// flushed by Finish). Run, RunUntil, and Step return errors as they
+// happen; Err is the catch-all for stepped sessions that only learn of
+// output failures at Finish.
 func (s *Session) Err() error {
+	if s.fatal != nil {
+		return s.fatal
+	}
 	if err := s.eng.Err(); err != nil {
 		return err
 	}
@@ -413,8 +539,23 @@ func (s *Session) Err() error {
 
 // Probe looks up a signal by hierarchical path name (e.g. "acc_tb.q") and
 // returns its current value. The boolean reports whether the signal
-// exists.
-func (s *Session) Probe(path string) (Value, bool) {
+// exists. On a poisoned session (or if the probe itself trips an engine
+// defect, which is contained like any other panic) it reports false; Err
+// carries the diagnosis.
+func (s *Session) Probe(path string) (v Value, ok bool) {
+	if s.fatal != nil {
+		return Value{}, false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			re := s.eng.Capture(engine.ErrInternal, nil, r, debug.Stack())
+			s.eng.SetError(re)
+			if s.fatal == nil {
+				s.fatal = re
+			}
+			v, ok = Value{}, false
+		}
+	}()
 	sig := s.eng.SignalByName(path)
 	if sig == nil {
 		return Value{}, false
@@ -433,16 +574,20 @@ func (s *Session) Pending() int { return s.eng.PendingEvents() }
 // output) and returns the final statistics. It is idempotent; the session
 // must not be stepped afterwards. A VCD flush failure during Finish is
 // reported by Err — relevant for stepped-only sessions, whose Step calls
-// never flush.
+// never flush. On a failed session — poisoned by a contained panic or
+// stopped by a quota — Finish still works: the statistics reflect the
+// partial progress up to the failure, and the VCD flush completes the
+// well-formed waveform prefix.
 func (s *Session) Finish() Finish {
 	if !s.stopped {
 		s.stopped = true
-		if s.sv != nil {
-			s.sv.Shutdown()
-		}
-		if err := s.flushVCD(); err != nil && s.err == nil {
-			s.err = err
-		}
+		func() {
+			defer s.contain(nil)
+			if s.sv != nil {
+				s.sv.Shutdown()
+			}
+		}()
+		s.safeFlushVCD()
 	}
 	return Finish{
 		Now:               s.eng.Now,
