@@ -19,8 +19,10 @@ test:
 
 # test-race runs the concurrency-exposed suites under the race detector:
 # the root package (session farm, 16 concurrent sessions per backend over
-# one frozen design, concurrent VCD writers, the fault-injection matrix
-# with its in-coroutine svsim panic recovery), the kernel, the reference
+# one frozen design — including 16 bytecode-tier sessions sharing one
+# sealed instruction stream, cross-checked against a closure-tier
+# reference — concurrent VCD writers, the fault-injection matrix with its
+# in-coroutine svsim panic recovery), the kernel, the reference
 # interpreter, and svsim (coroutine handoff).
 test-race:
 	$(GO) test -race -run 'TestConcurrent|TestFarm|TestSession|TestUnfrozen|TestFault|TestGovernance|TestPoisoned' .
@@ -33,9 +35,12 @@ test-timeout:
 	$(GO) test -timeout 120s ./...
 
 # fuzz-smoke is the CI-sized differential fuzzing run: a fixed seed and a
-# bounded design count, so it is deterministic and time-boxed. Failing
-# designs are shrunk into fuzz-failures/ (uploaded as a CI artifact) and
-# fail the target. The full acceptance run is -n 1000.
+# bounded design count, so it is deterministic and time-boxed. Each design
+# runs six legs — {interp, blaze-bytecode, blaze-closure} × {unlowered,
+# lowered} — so the bytecode tier is fuzzed against both the interpreter
+# and the closure tier on every seed. Failing designs are shrunk into
+# fuzz-failures/ (uploaded as a CI artifact) and fail the target. The full
+# acceptance run is -n 1000.
 fuzz-smoke:
 	$(GO) run ./cmd/llhd-fuzz -seed 1 -n 200 -corpus fuzz-failures
 

@@ -124,6 +124,97 @@ func TestConcurrentSessionsTable2Design(t *testing.T) {
 	}
 }
 
+// TestConcurrentBytecodeTierSharedDesign is the bytecode tier's race
+// envelope: one frozen module, one sealed bytecode CompiledDesign, 16
+// fully concurrent sessions executing the shared flat instruction streams
+// through per-session frames. Under -race this enforces that the lowered
+// Units (code, aux pools, const templates, wait shapes) are never written
+// after sealing — only the per-session register files are. Every
+// concurrent trace must match a serial closure-tier reference session
+// byte for byte, so the tiers are also cross-checked under contention.
+func TestConcurrentBytecodeTierSharedDesign(t *testing.T) {
+	d, err := designs.ByName("cdc_gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := llhd.CompileSystemVerilog(d.Name, d.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := llhd.CompileBlazeTier(m, d.Top, llhd.TierBytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Tier() != llhd.TierBytecode {
+		t.Fatalf("Tier() = %v, want bytecode", cd.Tier())
+	}
+
+	// Serial closure-tier reference over the same frozen module.
+	refObs := &llhd.TraceObserver{}
+	ref, err := llhd.NewSession(llhd.FromModule(m), llhd.Top(d.Top),
+		llhd.Backend(llhd.Blaze), llhd.WithBlazeTier(llhd.TierClosure),
+		llhd.WithObserver(refObs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref.Finish()
+	want := traceStrings(refObs)
+
+	errs := make([]error, concurrentSessions)
+	traces := make([][]string, concurrentSessions)
+	var wg sync.WaitGroup
+	for g := 0; g < concurrentSessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			obs := &llhd.TraceObserver{}
+			s, err := llhd.NewSession(llhd.FromCompiled(cd), llhd.WithObserver(obs))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if err := s.Run(); err != nil {
+				errs[g] = err
+				return
+			}
+			if st := s.Finish(); st.AssertionFailures != 0 {
+				errs[g] = fmt.Errorf("%d assertion failures", st.AssertionFailures)
+				return
+			}
+			traces[g] = traceStrings(obs)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", g, err)
+		}
+	}
+	for g, tr := range traces {
+		if len(tr) != len(want) {
+			t.Fatalf("session %d: trace length %d, closure reference %d", g, len(tr), len(want))
+		}
+		for i := range tr {
+			if tr[i] != want[i] {
+				t.Fatalf("session %d: trace diverges from closure reference at %d: %q vs %q",
+					g, i, tr[i], want[i])
+			}
+		}
+	}
+}
+
+// traceStrings renders a buffered trace for comparison.
+func traceStrings(o *llhd.TraceObserver) []string {
+	out := make([]string, 0, len(o.Entries))
+	for _, te := range o.Entries {
+		out = append(out, fmt.Sprintf("%v %s=%s", te.Time, te.Sig.Name, te.Value))
+	}
+	return out
+}
+
 // TestConcurrentVCDMatchesSerial checks that waveform output is oblivious
 // to farm concurrency: two sessions writing VCD concurrently over one
 // frozen design each produce a byte-identical file to a serial run.

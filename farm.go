@@ -78,11 +78,12 @@ func (f *Farm) Run(ctx context.Context, jobs ...FarmJob) []FarmResult {
 	cfgs := make([]*sessionConfig, len(jobs))
 
 	// Serial preparation: freeze shared modules, compile blaze designs
-	// once per (module, top). This is the only phase that writes to
+	// once per (module, top, tier). This is the only phase that writes to
 	// cross-session state.
 	type designKey struct {
-		m   *Module
-		top string
+		m    *Module
+		top  string
+		tier BlazeTier
 	}
 	compiledCache := map[designKey]*CompiledDesign{}
 	for i := range jobs {
@@ -103,11 +104,11 @@ func (f *Farm) Run(ctx context.Context, jobs ...FarmJob) []FarmResult {
 				results[i].Err = fmt.Errorf("llhd: farm job %d: module has no entity; pass Top(name)", i)
 				continue
 			}
-			key := designKey{cfg.module, top}
+			key := designKey{cfg.module, top, cfg.tier}
 			cd, ok := compiledCache[key]
 			if !ok {
 				var err error
-				cd, err = CompileBlaze(cfg.module, top)
+				cd, err = CompileBlazeTier(cfg.module, top, cfg.tier)
 				if err != nil {
 					results[i].Err = fmt.Errorf("llhd: farm job %d: %w", i, err)
 					continue

@@ -1,20 +1,26 @@
 // Package blaze implements the optimized LLHD simulator (the paper's
 // LLHD-Blaze, §6.1). Where the reference interpreter (internal/sim) walks
-// the IR instruction graph, blaze compiles every unit ahead of time into
-// arrays of Go closures operating on a flat, slot-indexed register file.
-// This removes all per-instruction dispatch (map lookups, interface
-// assertions, operand resolution) from the simulation hot loop — the same
-// effect the paper obtains with LLVM-based JIT compilation, within a
-// pure-Go implementation.
+// the IR instruction graph, blaze compiles every unit ahead of time and
+// executes the compiled form — the same effect the paper obtains with
+// LLVM-based JIT compilation, within a pure-Go implementation.
 //
-// Compilation is per unit and session-independent: the closures reference
-// per-activation state (registers, signal tables, reg/del histories) only
-// through the proc they run on, never by capture. A CompiledDesign
-// therefore holds one immutable copy of the code for the whole design
-// hierarchy, shared read-only by every Simulator built from it — the
-// foundation of the concurrent session farm (llhd.Farm). Per-session
-// state (the event engine, signals, register files, function call-frame
-// pools) lives in the Simulator.
+// Blaze has two execution tiers (see Tier). The default bytecode tier
+// lowers each unit to a flat, fixed-width instruction stream executed by
+// a threaded dispatch loop (internal/blaze/bytecode): one switch dispatch
+// per instruction, registers indexed directly by dense value IDs, scalar
+// integer ops running in place on the uint64 payload. The closure tier —
+// the original design, kept as the differential-testing reference —
+// turns every instruction into a Go closure executed through per-block
+// closure arrays. Both tiers produce byte-identical traces.
+//
+// Compilation is per unit and session-independent: the compiled code
+// references per-activation state (registers, signal tables, reg/del
+// histories) only through the proc/frame it runs on, never by capture. A
+// CompiledDesign therefore holds one immutable copy of the code for the
+// whole design hierarchy, shared read-only by every Simulator built from
+// it — the foundation of the concurrent session farm (llhd.Farm).
+// Per-session state (the event engine, signals, register files, function
+// call-frame pools) lives in the Simulator.
 //
 // Blaze shares the event kernel (internal/engine) with the interpreter, so
 // both produce identical traces; only the per-activation execution differs.
@@ -23,6 +29,7 @@ package blaze
 import (
 	"fmt"
 
+	"llhd/internal/blaze/bytecode"
 	"llhd/internal/engine"
 	"llhd/internal/ir"
 	"llhd/internal/val"
@@ -38,18 +45,28 @@ type Simulator struct {
 	Top    string
 
 	design *CompiledDesign
-	// framePools holds the pooled function call frames, indexed by the
-	// compiled function's dense index. Pools are per session: sharing them
-	// across concurrently running sessions would race on the wake path.
+	// framePools holds the closure tier's pooled function call frames,
+	// indexed by the compiled function's dense index. Pools are per
+	// session: sharing them across concurrently running sessions would
+	// race on the wake path.
 	framePools [][]*proc
+	// rt is the bytecode tier's per-session runtime (its call-frame
+	// pools), nil on the closure tier.
+	rt *bytecode.Runtime
 }
 
 // New compiles and elaborates the design hierarchy under the top unit for
-// single-session use. The module is not frozen and stays mutable once the
-// simulator exists; use Compile + CompiledDesign.NewSimulator to share one
-// compiled design across concurrent sessions.
+// single-session use, on the default (bytecode) tier. The module is not
+// frozen and stays mutable once the simulator exists; use Compile +
+// CompiledDesign.NewSimulator to share one compiled design across
+// concurrent sessions.
 func New(m *ir.Module, top string) (*Simulator, error) {
-	return newDesign(m, top).newSimulator()
+	return NewTier(m, top, TierBytecode)
+}
+
+// NewTier is New with an explicit execution tier.
+func NewTier(m *ir.Module, top string, tier Tier) (*Simulator, error) {
+	return newDesign(m, top, tier).newSimulator()
 }
 
 // Design returns the compiled design the simulator executes.

@@ -1,0 +1,176 @@
+package blaze_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llhd/internal/assembly"
+	"llhd/internal/blaze"
+	"llhd/internal/designs"
+	"llhd/internal/ir"
+	"llhd/internal/moore"
+	"llhd/internal/simtest"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// bcFreeRunnerSrc is the never-halting clock generator plus edge counter
+// also pinned by the interpreter's alloc test: every step exercises
+// probes, drives, var/ld/st memory, branches, jumps, and wait re-arming,
+// forever.
+const bcFreeRunnerSrc = `
+entity @top () -> () {
+  %z1 = const i1 0
+  %z32 = const i32 0
+  %clk = sig i1 %z1
+  %count = sig i32 %z32
+  inst @clkgen () -> (i1$ %clk)
+  inst @counter (i1$ %clk) -> (i32$ %count)
+}
+proc @clkgen () -> (i1$ %clk) {
+ entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %half = const time 5ns
+  %zero = const i32 0
+  %one = const i32 1
+  %i = var i32 %zero
+  br %loop
+ loop:
+  drv i1$ %clk, %b1 after %half
+  wait %lo for %half
+ lo:
+  drv i1$ %clk, %b0 after %half
+  wait %next for %half
+ next:
+  %ip = ld i32* %i
+  %in = add i32 %ip, %one
+  st i32* %i, %in
+  br %loop
+}
+proc @counter (i1$ %clk) -> (i32$ %count) {
+ init:
+  %one = const i32 1
+  %dz = const time 0s
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+ check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %pos = and i1 %chg, %clk1
+  br %pos, %init, %bump
+ bump:
+  %c = prb i32$ %count
+  %cn = add i32 %c, %one
+  drv i32$ %count, %cn after %dz
+  br %init
+}
+`
+
+// TestBytecodeWakeHotPathAllocFree is the bytecode-tier sibling of
+// TestInterpWakeHotPathAllocFree and TestDriveWakeHotPathAllocFree: once
+// frames and wait sets are warm, a full engine step through the threaded
+// dispatch loop (probes, in-place integer ops, drives, branch/jump,
+// wait re-arming, phi-free and phi-carrying edges) must not allocate.
+// Register writes going through storeInt/storeBool in place — never
+// through a fresh val.Value — is what this test enforces.
+func TestBytecodeWakeHotPathAllocFree(t *testing.T) {
+	m := assembly.MustParse("freerun", bcFreeRunnerSrc)
+	s, err := blaze.NewTier(m, "top", blaze.TierBytecode)
+	if err != nil {
+		t.Fatalf("NewTier: %v", err)
+	}
+	e := s.Engine
+	e.Init()
+	for i := 0; i < 256; i++ { // warm frames and wait sets
+		if !e.Step() {
+			t.Fatal("free-running design drained unexpectedly")
+		}
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		e.Step()
+	})
+	if e.PendingEvents() == 0 {
+		t.Fatal("queue drained during measurement; hot path not exercised")
+	}
+	t.Logf("bytecode wake path: %.3f allocs/step", avg)
+	// The path measures 0.000 today; the small nonzero gate only tolerates
+	// rare kernel-map rehash noise, never a systematic per-step allocation.
+	if avg > 0.25 {
+		t.Errorf("bytecode wake hot path allocates %.2f times per step, want 0", avg)
+	}
+}
+
+// TestBytecodeDisasmGolden pins the bytecode encoding of a Table 2 unit
+// through the disassembler: any change to the lowering (opcode selection,
+// operand packing, const placement, wait-list shapes) shows up as a
+// golden diff. The opcode space and the disassembly format are
+// append-only, so an innocent refactor must not rewrite this file.
+// Regenerate deliberately with: go test ./internal/blaze -run Golden -update
+func TestBytecodeDisasmGolden(t *testing.T) {
+	d, err := designs.ByName("gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := moore.Compile(d.Name, d.Source)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cd, err := blaze.Compile(m, d.Top)
+	if err != nil {
+		t.Fatalf("blaze.Compile: %v", err)
+	}
+	got, err := cd.DisasmUnit("gray_enc$W8_p0")
+	if err != nil {
+		t.Fatalf("DisasmUnit: %v", err)
+	}
+	golden := filepath.Join("testdata", "disasm_gray_enc.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("disassembly drifted from golden %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestBytecodeTierTraceMatchesClosure runs the counter design on both
+// blaze tiers directly (no farm, no session facade) and requires
+// byte-identical traces — the narrowest possible tier-vs-tier harness,
+// useful when a divergence needs debugging below the public API.
+func TestBytecodeTierTraceMatchesClosure(t *testing.T) {
+	runTier := func(tier blaze.Tier) []string {
+		m := assembly.MustParse("counter", counterSrc)
+		s, err := blaze.NewTier(m, "top", tier)
+		if err != nil {
+			t.Fatalf("NewTier(%v): %v", tier, err)
+		}
+		tr := simtest.Capture(s.Engine)
+		if err := s.Run(ir.Time{}); err != nil {
+			t.Fatalf("%v run: %v", tier, err)
+		}
+		return simtest.Strings(tr)
+	}
+	byt, clo := runTier(blaze.TierBytecode), runTier(blaze.TierClosure)
+	if len(byt) != len(clo) {
+		t.Fatalf("trace lengths differ: bytecode %d vs closure %d", len(byt), len(clo))
+	}
+	for i := range byt {
+		if byt[i] != clo[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, byt[i], clo[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package blaze
 import (
 	"fmt"
 
+	"llhd/internal/blaze/bytecode"
 	"llhd/internal/engine"
 	"llhd/internal/ir"
 	"llhd/internal/val"
@@ -17,11 +18,18 @@ import (
 type CompiledDesign struct {
 	module *ir.Module
 	top    string
+	tier   Tier
 
+	// Closure tier.
 	units    map[*ir.Unit]*compiledUnit
 	funcs    map[string]*compiledFunc
 	funcList []*compiledFunc // dense by compiledFunc.idx, for per-session pools
-	sealed   bool
+
+	// Bytecode tier.
+	prog   *bytecode.Program
+	bunits map[*ir.Unit]*bytecode.Unit
+
+	sealed bool
 }
 
 // Compile compiles every unit reachable from the top entity exactly
@@ -32,23 +40,41 @@ type CompiledDesign struct {
 // unfrozen — freezing is irreversible, so it must not outlive a failed
 // compile.
 func Compile(m *ir.Module, top string) (*CompiledDesign, error) {
-	cd := newDesign(m, top)
+	return CompileTier(m, top, TierBytecode)
+}
+
+// CompileTier is Compile with an explicit execution tier: TierBytecode
+// (the default) or TierClosure (the closure-tree reference tier).
+func CompileTier(m *ir.Module, top string, tier Tier) (*CompiledDesign, error) {
+	cd := newDesign(m, top, tier)
 	if _, err := cd.newSimulator(); err != nil {
 		return nil, err
 	}
 	m.Freeze()
 	cd.sealed = true
+	if cd.prog != nil {
+		cd.prog.Seal()
+	}
 	return cd, nil
 }
 
-func newDesign(m *ir.Module, top string) *CompiledDesign {
-	return &CompiledDesign{
+func newDesign(m *ir.Module, top string, tier Tier) *CompiledDesign {
+	cd := &CompiledDesign{
 		module: m,
 		top:    top,
+		tier:   tier,
 		units:  map[*ir.Unit]*compiledUnit{},
 		funcs:  map[string]*compiledFunc{},
 	}
+	if tier == TierBytecode {
+		cd.prog = bytecode.NewProgram(m)
+		cd.bunits = map[*ir.Unit]*bytecode.Unit{}
+	}
+	return cd
 }
+
+// Tier returns the design's execution tier.
+func (cd *CompiledDesign) Tier() Tier { return cd.tier }
 
 // Module returns the (frozen, for sealed designs) module the design was
 // compiled from.
@@ -81,6 +107,16 @@ func (cd *CompiledDesign) newSimulator() (*Simulator, error) {
 			return nil, err
 		}
 		return cu.instantiate(inst, s)
+	}
+	if cd.tier == TierBytecode {
+		s.rt = bytecode.NewRuntime(cd.prog)
+		factory = func(inst *engine.Instance) (engine.Process, error) {
+			u, err := cd.bcUnitFor(inst)
+			if err != nil {
+				return nil, err
+			}
+			return bcInstantiate(u, inst, s.rt)
+		}
 	}
 	if err := engine.Elaborate(e, cd.module, cd.top, factory); err != nil {
 		return nil, err

@@ -1,0 +1,138 @@
+package blaze
+
+import (
+	"fmt"
+
+	"llhd/internal/blaze/bytecode"
+	"llhd/internal/engine"
+)
+
+// Tier selects blaze's execution strategy. Both tiers share the
+// compile-once / elaborate-per-session design and produce byte-identical
+// traces; they differ only in how a unit's body executes per activation.
+type Tier int
+
+const (
+	// TierBytecode (the default) lowers units to flat fixed-width
+	// bytecode executed by a threaded dispatch loop — one switch dispatch
+	// per instruction over a linear stream (internal/blaze/bytecode).
+	TierBytecode Tier = iota
+	// TierClosure is the original tier: every instruction becomes a Go
+	// closure, executed through per-block closure arrays. Kept as the
+	// differential-testing reference for the bytecode tier.
+	TierClosure
+)
+
+// String returns the tier's flag spelling.
+func (t Tier) String() string {
+	switch t {
+	case TierBytecode:
+		return "bytecode"
+	case TierClosure:
+		return "closure"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// ParseTier parses a -tier flag value.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "bytecode":
+		return TierBytecode, nil
+	case "closure":
+		return TierClosure, nil
+	}
+	return 0, fmt.Errorf("blaze: unknown tier %q (want bytecode or closure)", s)
+}
+
+// bcProc is one unit instance executing shared bytecode over a private
+// frame. It is the bytecode tier's counterpart of proc: same engine
+// contract (Init subscribes entity sensitivity, Wake re-runs the cone or
+// resumes the process), same error wrapping, same halt latch.
+type bcProc struct {
+	engine.ProcHandle
+	name   string
+	u      *bytecode.Unit
+	fr     *bytecode.Frame
+	rt     *bytecode.Runtime
+	entity bool
+	halted bool
+}
+
+func (p *bcProc) Name() string { return p.name }
+
+func (p *bcProc) Init(e *engine.Engine) {
+	if p.entity {
+		// Permanent sensitivity on every probed signal.
+		e.Subscribe(p.ProcID(), p.fr.Probed)
+	}
+	p.fr.PC = 0
+	p.step(e)
+}
+
+func (p *bcProc) Wake(e *engine.Engine) {
+	if p.halted {
+		return
+	}
+	if p.entity {
+		p.fr.PC = 0
+	}
+	p.step(e)
+}
+
+func (p *bcProc) step(e *engine.Engine) {
+	st, err := p.rt.Exec(e, p.u, p.fr, p.ProcID())
+	if err != nil {
+		e.SetError(fmt.Errorf("blaze: %s: %w", p.name, err))
+		return
+	}
+	if st == bytecode.StatusHalt {
+		e.Halt(p.ProcID())
+		p.halted = true
+	}
+}
+
+// bcUnitFor returns the lowered form of the instance's unit, lowering it
+// on first encounter while the design is still unsealed.
+func (cd *CompiledDesign) bcUnitFor(inst *engine.Instance) (*bytecode.Unit, error) {
+	if u, ok := cd.bunits[inst.Unit]; ok {
+		return u, nil
+	}
+	if cd.sealed {
+		return nil, fmt.Errorf("blaze: unit @%s is not part of the sealed design", inst.Unit.Name)
+	}
+	u, err := cd.prog.LowerUnit(inst)
+	if err != nil {
+		return nil, err
+	}
+	cd.bunits[inst.Unit] = u
+	return u, nil
+}
+
+// bcInstantiate builds the per-session, per-instance bytecode proc.
+func bcInstantiate(u *bytecode.Unit, inst *engine.Instance, rt *bytecode.Runtime) (*bcProc, error) {
+	fr, err := u.NewFrame(inst)
+	if err != nil {
+		return nil, fmt.Errorf("blaze: %s: %w", inst.Name, err)
+	}
+	return &bcProc{name: inst.Name, u: u, fr: fr, rt: rt, entity: u.Entity}, nil
+}
+
+// DisasmUnit renders the bytecode of one lowered unit (bytecode tier
+// only); the golden tests pin encodings through it.
+func (cd *CompiledDesign) DisasmUnit(name string) (string, error) {
+	if cd.tier != TierBytecode {
+		return "", fmt.Errorf("blaze: DisasmUnit needs the bytecode tier")
+	}
+	for u, bu := range cd.bunits {
+		if u.Name == name {
+			return bytecode.Disasm(bu), nil
+		}
+	}
+	for _, fu := range cd.prog.FuncList {
+		if fu.Name == name {
+			return bytecode.Disasm(fu), nil
+		}
+	}
+	return "", fmt.Errorf("blaze: no lowered unit @%s in the design", name)
+}

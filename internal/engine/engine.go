@@ -156,11 +156,18 @@ type Engine struct {
 	byName  map[string]*Signal // lazy name index for SignalByName
 	procs   []procEntry
 
-	slots    map[ir.Time]*timeSlot // instant -> pending bucket
-	lastSlot *timeSlot             // one-entry cache for same-instant bursts
-	heap     []*timeSlot           // min-heap on slot time
-	slotPool []*timeSlot           // retired slots for reuse
-	pending  int                   // scheduled-but-unapplied events
+	// slots deduplicates pending instants, but hashing an ir.Time key on
+	// every schedule and pop costs more than the typical heap is worth:
+	// most designs keep only a handful of distinct future instants in
+	// flight. slotFor therefore scans the heap linearly while it is at
+	// most slotScanMax wide and lets the map go stale (slotsStale);
+	// crossing the threshold rebuilds the map once from the heap.
+	slots      map[ir.Time]*timeSlot // instant -> pending bucket
+	slotsStale bool                  // slots diverged during linear-scan mode
+	lastSlot   *timeSlot             // one-entry cache for same-instant bursts
+	heap       []*timeSlot           // min-heap on slot time
+	slotPool   []*timeSlot           // retired slots for reuse
+	pending    int                   // scheduled-but-unapplied events
 
 	// Per-step scratch, reused across steps. stamp is the generation
 	// counter that replaces per-step changed/woken maps.
@@ -468,19 +475,69 @@ func (e *Engine) Drive(r SigRef, v val.Value, delay ir.Time) {
 	if v.Kind == val.KindLogic || v.Kind == val.KindAgg {
 		v = v.Clone()
 	}
-	e.schedule(t, event{ref: r, value: v})
+	s := e.slotFor(t)
+	s.events = append(s.events, event{ref: r, value: v})
+	e.pending++
+}
+
+// DriveInt schedules a two-state scalar drive without routing a full
+// val.Value through the call chain. It is Drive specialized to the
+// compiled tiers' hot shape: no defensive clone is ever needed (scalars
+// have no shared backing storage) and the event's value is written field
+// by field into its bucket slot.
+func (e *Engine) DriveInt(r SigRef, width int, bits uint64, delay ir.Time) {
+	t := e.Now.Add(delay)
+	if delay.IsZero() {
+		t = e.Now.Add(ir.Time{Delta: 1})
+	}
+	s := e.slotFor(t)
+	s.events = append(s.events, event{ref: r})
+	ev := &s.events[len(s.events)-1]
+	ev.value.Kind = val.KindInt
+	ev.value.Width = width
+	ev.value.Bits = bits
+	e.pending++
 }
 
 // schedule appends the event to its instant's bucket, creating (or
 // recycling) the bucket if this is the first event at that instant.
 func (e *Engine) schedule(t ir.Time, ev event) {
+	s := e.slotFor(t)
+	s.events = append(s.events, ev)
+	e.pending++
+}
+
+// slotScanMax is the heap width up to which slotFor dedups pending
+// instants by scanning the heap instead of hashing into the slots map.
+const slotScanMax = 32
+
+// slotFor finds or creates the bucket for the instant, keeping the
+// one-entry cache warm for same-instant bursts. Callers append their event
+// directly into the returned slot so the ~112-byte event struct is copied
+// exactly once.
+func (e *Engine) slotFor(t ir.Time) *timeSlot {
 	if s := e.lastSlot; s != nil && s.time == t {
-		s.events = append(s.events, ev)
-		e.pending++
-		return
+		return s
 	}
-	s, ok := e.slots[t]
-	if !ok {
+	var s *timeSlot
+	if len(e.heap) <= slotScanMax {
+		for _, c := range e.heap {
+			if c.time == t {
+				s = c
+				break
+			}
+		}
+	} else {
+		if e.slotsStale {
+			clear(e.slots)
+			for _, c := range e.heap {
+				e.slots[c.time] = c
+			}
+			e.slotsStale = false
+		}
+		s = e.slots[t]
+	}
+	if s == nil {
 		if n := len(e.slotPool); n > 0 {
 			s = e.slotPool[n-1]
 			e.slotPool = e.slotPool[:n-1]
@@ -488,12 +545,15 @@ func (e *Engine) schedule(t ir.Time, ev event) {
 			s = &timeSlot{}
 		}
 		s.time = t
-		e.slots[t] = s
+		if len(e.heap) < slotScanMax {
+			e.slotsStale = true
+		} else if !e.slotsStale {
+			e.slots[t] = s
+		}
 		e.heapPush(s)
 	}
-	s.events = append(s.events, ev)
 	e.lastSlot = s
-	e.pending++
+	return s
 }
 
 func (e *Engine) releaseSlot(s *timeSlot) {
@@ -566,7 +626,9 @@ func (e *Engine) Step() bool {
 	}
 	e.running = NoProc
 	slot := e.heapPop()
-	delete(e.slots, slot.time)
+	if !e.slotsStale {
+		delete(e.slots, slot.time)
+	}
 	if e.lastSlot == slot {
 		e.lastSlot = nil
 	}
@@ -582,6 +644,23 @@ func (e *Engine) Step() bool {
 		e.EventCount++
 		e.pending--
 		if ev.isWake {
+			continue
+		}
+		// Scalar fast path: a whole-signal two-state drive compares and
+		// writes Width/Bits in place, skipping the inject/Eq copy chain.
+		// Stale L/Elems on the signal stay inert because every consumer
+		// switches on Kind first (the same rule the blaze bytecode tier's
+		// in-place stores rely on).
+		if sig := ev.ref.Sig; len(ev.ref.Path) == 0 &&
+			ev.value.Kind == val.KindInt && sig.value.Kind == val.KindInt {
+			if sig.value.Width != ev.value.Width || sig.value.Bits != ev.value.Bits {
+				sig.value.Width = ev.value.Width
+				sig.value.Bits = ev.value.Bits
+				if sig.changeStamp != e.stamp {
+					sig.changeStamp = e.stamp
+					changed = append(changed, sig)
+				}
+			}
 			continue
 		}
 		newWhole, err := inject(ev.ref.Sig.value, ev.value, ev.ref.Path)

@@ -110,8 +110,24 @@ func inject(whole, part val.Value, path []Proj) (val.Value, error) {
 	return val.Value{}, fmt.Errorf("engine: bad projection")
 }
 
+// ProbeScalar reads a whole-signal two-state integer without copying a
+// full val.Value out: the compiled tiers' hot probe shape. It reports
+// ok=false when the reference is projected or the signal holds a
+// non-integer value, in which case the caller falls back to Probe.
+func (e *Engine) ProbeScalar(r SigRef) (width int, bits uint64, ok bool) {
+	if len(r.Path) != 0 || r.Sig.value.Kind != val.KindInt {
+		return 0, 0, false
+	}
+	return r.Sig.value.Width, r.Sig.value.Bits, true
+}
+
 // Probe reads the current value of the referenced signal part.
 func (e *Engine) Probe(r SigRef) val.Value {
+	if len(r.Path) == 0 {
+		// Whole-signal reads skip the projection walk (and its copies);
+		// this is the hot shape — scalar probes in process bodies.
+		return r.Sig.value
+	}
 	v, err := project(r.Sig.value, r.Path)
 	if err != nil {
 		e.fail(fmt.Errorf("probe %s: %w", r.Sig.Name, err))

@@ -24,6 +24,14 @@
 //	v, ok := s.Probe("top_tb.q")
 //	stats := s.Finish()              // delta steps, events, assertions
 //
+// The blaze engine executes on one of two tiers selected with
+// WithBlazeTier: the default TierBytecode lowers every unit to flat
+// fixed-width bytecode run by a threaded dispatch loop (registers indexed
+// directly by dense value IDs, scalar integer ops in place); TierClosure
+// is the original per-instruction closure arrays, kept as the
+// differential-testing reference. The tiers produce byte-identical
+// traces — the fuzzer and the farm matrix diff them on every run.
+//
 // Signal observation streams through the Observer interface (one callback
 // per changed signal per instant, deterministic signal-ID order) in
 // bounded memory; TraceObserver buffers a full trace when a diffable
