@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-timeout fuzz-smoke bench bench-kernel bench-table2 bench-farm
+.PHONY: check build vet test test-race test-timeout fuzz-smoke serve-smoke bench bench-kernel bench-table2 bench-farm
 
 # check is the tier-1 verification: the build, go vet, and the full test
 # suite must all pass.
@@ -43,6 +43,15 @@ test-timeout:
 # acceptance run is -n 1000.
 fuzz-smoke:
 	$(GO) run ./cmd/llhd-fuzz -seed 1 -n 200 -corpus fuzz-failures
+
+# serve-smoke is the simulation server's end-to-end self-test: boot
+# llhd-serve on an ephemeral port, stream rr_arbiter and byte-diff the
+# NDJSON deltas against a serial TraceObserver reference, resubmit to
+# check the content-addressed cache hit (identical stream, no recompile),
+# and assert that a tiny step budget is rejected with HTTP 429 and the
+# "step-limit" failure slug.
+serve-smoke:
+	$(GO) run ./cmd/llhd-serve -smoke
 
 # bench regenerates the paper's evaluation benchmarks (Table 2/4, Figure 5).
 bench:

@@ -14,12 +14,16 @@
 //
 //	llhd-sim [-top name] [-engine interp|blaze|svsim] [-tier bytecode|closure]
 //	         [-t 100us] [-steps N] [-timeout 30s] [-vcd out.vcd] [-trace]
-//	         [-j N] design.{llhd,bc,sv}
+//	         [-stats-json] [-j N] design.{llhd,bc,sv}
 //
 // With -j N the design is run as a concurrent sweep: N independent
 // sessions over one shared frozen design (one blaze compile, N register
 // files), reporting aggregate throughput — the smallest deployment of the
-// llhd.Farm. -trace and -vcd apply to single sessions only.
+// llhd.Farm. -trace, -vcd, and -stats-json apply to single sessions only.
+//
+// With -stats-json the final statistics and failure class are emitted as
+// one JSON object on stdout, in the same result schema llhd-serve
+// returns, so scripts consume CLI runs and server runs identically.
 //
 // Exit status distinguishes the failure classes of the runtime's error
 // taxonomy: 0 for a clean run, 1 for assertion failures (or input
@@ -32,6 +36,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,11 +47,12 @@ import (
 
 	"llhd"
 	"llhd/internal/ir"
+	"llhd/internal/simserver"
 )
 
 const usageText = `usage: llhd-sim [-top name] [-engine interp|blaze|svsim]
                 [-tier bytecode|closure] [-t 100us] [-steps N] [-timeout 30s]
-                [-vcd out.vcd] [-trace] [-j N] design.{llhd,bc,sv}
+                [-vcd out.vcd] [-trace] [-stats-json] [-j N] design.{llhd,bc,sv}
 
 exit status: 0 ok | 1 assertion failures or input errors
              2 resource quota exceeded (step/deadline/event/memory limit,
@@ -67,6 +73,7 @@ func main() {
 	steps := flag.Int("steps", 0, "deterministic instant budget: stop with exit status 2 after N instants (0: unlimited)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget: stop with exit status 2 after this long (0: unlimited)")
 	trace := flag.Bool("trace", false, "stream every signal change to stdout")
+	statsJSON := flag.Bool("stats-json", false, "emit the final statistics and failure class as one JSON object on stdout (the llhd-serve result schema)")
 	vcdPath := flag.String("vcd", "", "write the waveform as VCD to this file")
 	jobs := flag.Int("j", 1, "run N concurrent sessions over one shared frozen design (sweep mode)")
 	flag.Parse()
@@ -74,8 +81,8 @@ func main() {
 		flag.Usage()
 		os.Exit(1)
 	}
-	if *jobs > 1 && (*trace || *vcdPath != "") {
-		fatal(fmt.Errorf("-j %d is a throughput sweep; -trace and -vcd need a single session", *jobs))
+	if *jobs > 1 && (*trace || *vcdPath != "" || *statsJSON) {
+		fatal(fmt.Errorf("-j %d is a throughput sweep; -trace, -vcd, and -stats-json need a single session", *jobs))
 	}
 	kind, err := llhd.ParseEngineKind(*engineName)
 	if err != nil {
@@ -178,6 +185,23 @@ func main() {
 		if err := vcdFile.Close(); err != nil && runErr == nil {
 			runErr = err
 		}
+	}
+	if *statsJSON {
+		// One JSON object on stdout in the llhd-serve result schema
+		// (statistics, failure class slug, error text); diagnostics stay
+		// on stderr and the exit status keeps its taxonomy mapping.
+		res := simserver.ResultFrom(st, runErr)
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		if runErr != nil {
+			fatal(runErr)
+		}
+		if st.AssertionFailures > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	if runErr != nil {
 		fatal(runErr)

@@ -1,0 +1,149 @@
+// Serveclient: the llhd-serve client walkthrough. It boots the
+// simulation server in-process on an ephemeral port (the HTTP surface
+// is identical to a standalone `llhd-serve -addr :8080`), then walks
+// the full client lifecycle:
+//
+//  1. submit a SystemVerilog design to POST /v1/sim/stream and consume
+//     the NDJSON response line by line — signal deltas in deterministic
+//     kernel order, then one terminal result object,
+//  2. resubmit the identical design and observe the content-addressed
+//     cache hit: the server skips the frontend and the compile, and the
+//     streamed bytes are the same,
+//  3. read GET /v1/stats for the cache and scheduling counters,
+//  4. provoke a quota rejection (a 2-instant step budget) and show the
+//     structured failure: HTTP 429 with the "step-limit" class slug.
+//
+// Everything here works the same against a remote server — replace
+// `base` with its URL.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"llhd/internal/simserver"
+)
+
+const designSrc = `
+module counter_tb;
+  bit clk;
+  bit [7:0] count;
+  initial begin
+    automatic int i;
+    for (i = 0; i < 10; i = i + 1) begin
+      clk <= #5ns 1;
+      clk <= #10ns 0;
+      #10ns;
+    end
+  end
+  always_ff @(posedge clk) count <= count + 1;
+endmodule
+`
+
+func main() {
+	// Boot the server in-process. A standalone deployment is just
+	// `llhd-serve -addr :8080 -cache-dir /var/cache/llhd` — the client
+	// side below does not change.
+	srv, err := simserver.New(simserver.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// 1. Submit the design and stream the deltas. The request is one
+	// JSON object; the response is NDJSON: delta lines, then a result.
+	req := simserver.Request{Design: designSrc, Kind: "sv", Top: "counter_tb"}
+	res := streamRun(base, req, true)
+	fmt.Printf("cold run: class=%s cache=%s, finished at %s after %d instants\n\n",
+		res.Class, res.Cache, res.Now, res.DeltaSteps)
+
+	// 2. Resubmit. Same content hash -> the compiled design is reused;
+	// no parse, no lowering, no compile.
+	res = streamRun(base, req, false)
+	fmt.Printf("warm run: class=%s cache=%s (frontend and compile skipped)\n\n", res.Class, res.Cache)
+
+	// 3. Server-side counters: cache effectiveness and scheduling.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	pretty, _ := json.MarshalIndent(stats, "", "  ")
+	fmt.Printf("stats: %s\n\n", pretty)
+
+	// 4. Quotas are mandatory and structured: an impossible budget dies
+	// as a clean taxonomy slug with the mapped HTTP status, mirroring
+	// llhd-sim's exit codes (quota -> 429, like exit status 2).
+	tiny := req
+	tiny.Steps = 2
+	payload, _ := json.Marshal(tiny)
+	resp, err = http.Post(base+"/v1/sim/stream", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rejected simserver.Result
+	if err := json.NewDecoder(resp.Body).Decode(&rejected); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("quota rejection: HTTP %d, class=%q\n", resp.StatusCode, rejected.Class)
+}
+
+// streamRun posts one streaming submission and consumes the NDJSON
+// response: every line but the last is a Delta, the last is the Result.
+func streamRun(base string, req simserver.Request, echoDeltas bool) simserver.Result {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sim/stream", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("stream status %d", resp.StatusCode)
+	}
+
+	var res simserver.Result
+	shown, total := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var delta simserver.Delta
+		if err := json.Unmarshal(line, &delta); err == nil && delta.Sig != "" {
+			total++
+			if echoDeltas && shown < 5 {
+				fmt.Printf("  delta: t=%-6s %s = %s\n", delta.T, delta.Sig, delta.Val)
+				shown++
+			}
+			continue
+		}
+		// Not a delta: the terminal result line.
+		if err := json.Unmarshal(line, &res); err != nil {
+			log.Fatalf("unexpected stream line %q: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if echoDeltas {
+		fmt.Printf("  ... %d deltas total\n", total)
+	}
+	return res
+}

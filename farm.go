@@ -63,6 +63,14 @@ type Farm struct {
 	// Workers caps the number of concurrently running sessions. Zero or
 	// negative means GOMAXPROCS.
 	Workers int
+	// Cache, when non-nil, routes the preparation phase's blaze
+	// compilations through the shared content-addressed design cache:
+	// jobs whose content matches an already-warm design reuse it without
+	// freezing or recompiling, compiles are single-flighted across
+	// concurrent Run calls, and warm designs persist across Run calls
+	// (unlike the per-Run dedup map used without a cache). A job's own
+	// WithDesignCache option takes precedence over the farm-level cache.
+	Cache *DesignCache
 }
 
 // Run executes the jobs across the worker pool and returns one result per
@@ -91,6 +99,24 @@ func (f *Farm) Run(ctx context.Context, jobs ...FarmJob) []FarmResult {
 		cfg := &sessionConfig{}
 		for _, opt := range jobs[i].Options {
 			opt(cfg)
+		}
+		if cfg.cache == nil && f.Cache != nil && cfg.backend == Blaze && cfg.compiled == nil {
+			cfg.cache = f.Cache
+		}
+		if cfg.cache != nil && cfg.module != nil && cfg.compiled == nil &&
+			(!cfg.backendSet || cfg.backend == Blaze) {
+			// Content-addressed path: the cache resolves freezing and
+			// compilation itself (a warm hit does neither) and
+			// single-flights compiles across concurrent Run calls.
+			cd, _, err := cfg.cache.Load(cfg.module, cfg.top, cfg.tier)
+			if err != nil {
+				results[i].Err = fmt.Errorf("llhd: farm job %d: %w", i, err)
+				continue
+			}
+			cfg.compiled, cfg.module, cfg.cache = cd, nil, nil
+			cfg.backend, cfg.backendSet = Blaze, true
+			cfgs[i] = cfg
+			continue
 		}
 		if cfg.module != nil {
 			cfg.module.Freeze()

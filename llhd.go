@@ -105,6 +105,34 @@
 // simulation hot paths pay nothing for them; only WithStepLimit is exact
 // to the instant. Farm workers contain panics the same way, surfacing
 // them through FarmResult.Err with partial FarmResult.Stats.
+//
+// # Design cache and simulation server
+//
+// DesignCache makes blaze compilation content-addressed: the key is a
+// stable hash of the module's bitcode encoding plus the top name and
+// execution tier, so a design compiles once per content — across
+// sessions, farm jobs, independently parsed module copies, and (with
+// WithCacheDir) process restarts. Warm hits skip parse, lowering,
+// freeze, and compile; concurrent lookups of one design single-flight
+// into a single compile; an LRU bound (WithCacheCapacity) caps resident
+// designs. The cache is consulted only at session construction, never
+// on a simulation path.
+//
+//	dc, _ := llhd.NewDesignCache(llhd.WithCacheDir(dir))
+//	s, _ := llhd.NewSession(llhd.FromSystemVerilog(src),
+//	    llhd.Top("top_tb"), llhd.WithDesignCache(dc)) // implies Blaze
+//	farm := &llhd.Farm{Cache: dc} // farm jobs share the same cache
+//
+// The serving layer (internal/simserver, cmd/llhd-serve) puts an HTTP
+// front end over the same machinery: POST a design plus stimulus
+// config, get back an NDJSON stream of observer deltas — in the
+// kernel's deterministic order, byte-identical to a serial run —
+// followed by the Finish statistics and failure class. Every server
+// session runs under mandatory step/event/wall-clock quotas, worker
+// admission bounds concurrency, and the HTTP status mapping mirrors
+// llhd-sim's exit codes (quota → 429, assertion → 422, internal → 500).
+// llhd-sim -stats-json emits the same result schema on the CLI;
+// examples/serveclient walks the client lifecycle.
 package llhd
 
 import (

@@ -140,6 +140,7 @@ type sessionConfig struct {
 	source     string
 	hasSource  bool
 	compiled   *CompiledDesign
+	cache      *DesignCache
 	top        string
 	backend    EngineKind
 	backendSet bool
@@ -370,6 +371,15 @@ func newSession(cfg *sessionConfig) (*Session, error) {
 	if cfg.module != nil && cfg.hasSource {
 		return nil, fmt.Errorf("llhd: FromModule and FromSystemVerilog are mutually exclusive")
 	}
+	if cfg.cache != nil {
+		if cfg.compiled != nil {
+			return nil, fmt.Errorf("llhd: WithDesignCache and FromCompiled are mutually exclusive (a compiled design is already past the cache)")
+		}
+		if cfg.backendSet && cfg.backend != Blaze {
+			return nil, fmt.Errorf("llhd: WithDesignCache applies to the blaze engine, not %v", cfg.backend)
+		}
+		cfg.backend = Blaze
+	}
 	if cfg.tierSet && cfg.backend != Blaze {
 		return nil, fmt.Errorf("llhd: WithBlazeTier applies to the blaze engine, not %v", cfg.backend)
 	}
@@ -396,6 +406,28 @@ func newSession(cfg *sessionConfig) (*Session, error) {
 				return nil, err
 			}
 			s.eng, s.top = bz.Engine, cfg.compiled.Top()
+			break
+		}
+		if cfg.cache != nil {
+			// Cache-aware construction: resolve the design through the
+			// content-addressed cache. A warm hit skips parse, lowering,
+			// freeze, and compile; a miss compiles once and leaves the
+			// warm design behind for every later session.
+			var cd *CompiledDesign
+			var err error
+			if cfg.module != nil {
+				cd, _, err = cfg.cache.Load(cfg.module, cfg.top, cfg.tier)
+			} else {
+				cd, _, err = cfg.cache.LoadSystemVerilog("design", cfg.source, cfg.top, cfg.tier, false)
+			}
+			if err != nil {
+				return nil, err
+			}
+			bz, err := cd.NewSimulator()
+			if err != nil {
+				return nil, err
+			}
+			s.eng, s.top = bz.Engine, cd.Top()
 			break
 		}
 		m := cfg.module
