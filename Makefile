@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-timeout fuzz-smoke serve-smoke bench bench-kernel bench-table2 bench-farm
+.PHONY: check build vet test test-race test-timeout fuzz-smoke serve-smoke conformance bench bench-kernel bench-table2 bench-farm
 
 # check is the tier-1 verification: the build, go vet, and the full test
 # suite must all pass.
@@ -43,6 +43,15 @@ test-timeout:
 # acceptance run is -n 1000.
 fuzz-smoke:
 	$(GO) run ./cmd/llhd-fuzz -seed 1 -n 200 -corpus fuzz-failures
+
+# conformance runs the RV32I conformance suite explicitly and verbosely:
+# every image under testdata/rv32i assembled, executed on the reference
+# ISS, and cross-checked on all four engines (see conformance_test.go).
+# Engine step limits and the ISS step budget keep a wedged core a fast
+# deterministic failure; failing runs leave VCD + trace artifacts under
+# conformance-failures/ for CI to upload.
+conformance:
+	$(GO) test -run TestRV32IConformance -count=1 -v .
 
 # serve-smoke is the simulation server's end-to-end self-test: boot
 # llhd-serve on an ephemeral port, stream rr_arbiter and byte-diff the

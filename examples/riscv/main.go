@@ -1,58 +1,101 @@
-// RISC-V: compile the RV32I core of the benchmark suite from
-// SystemVerilog, simulate it on both engines, and compare: the preloaded
-// program sums the integers 1..100 and halts with the result in x10.
+// RISC-V: assemble an RV32I program with the internal assembler, execute
+// it on the reference ISS, then simulate the full RV32I conformance core
+// (program loaded via $readmemh) and cross-check the two. The program
+// sums the integers 1..100, exposes the sum on the core's dump stream,
+// and reports pass through the riscv-tests tohost protocol.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"llhd"
 	"llhd/internal/designs"
+	"llhd/internal/riscv"
 )
 
+const program = `
+# sum the integers 1..100 into x10
+  li x1, 0            # i
+  li x10, 0           # sum
+loop:
+  addi x1, x1, 1
+  add x10, x10, x1
+  li x2, 100
+  bne x1, x2, loop
+  sw x10, 260(x0)     # dump stream: expose the sum
+  li x3, 1
+  sw x3, 256(x0)      # tohost = 1: pass, halt
+`
+
 func main() {
-	d, err := designs.ByName("riscv")
-	if err != nil {
-		log.Fatal(err)
-	}
-	m1, err := llhd.CompileSystemVerilog(d.Name, d.Source)
-	if err != nil {
-		log.Fatal(err)
-	}
-	m2, err := llhd.CompileSystemVerilog(d.Name, d.Source)
+	words, err := riscv.Assemble(program)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	t0 := time.Now()
-	interp, err := llhd.NewSession(llhd.FromModule(m1), llhd.Top(d.Top), llhd.Backend(llhd.Interp))
+	// Leg 1: the reference ISS, the independent golden model.
+	iss := riscv.NewISS(words)
+	if err := iss.Run(10_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ISS:  x10 = %d after %d steps, tohost = %d\n",
+		iss.Regs[10], iss.Steps, iss.ToHost)
+
+	// Leg 2: the RV32I core in SystemVerilog, loading the same image
+	// through $readmemh and simulated on the compiled engine.
+	dir, err := os.MkdirTemp("", "rv32i-example")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := interp.Run(); err != nil {
-		log.Fatal(err)
-	}
-	interpTime := time.Since(t0)
-	interpStats := interp.Finish()
-
-	t0 = time.Now()
-	compiled, err := llhd.NewSession(llhd.FromModule(m2), llhd.Top(d.Top), llhd.Backend(llhd.Blaze))
+	defer os.RemoveAll(dir)
+	hexPath := filepath.Join(dir, "sum.hex")
+	f, err := os.Create(hexPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := compiled.Run(); err != nil {
+	if err := riscv.WriteHex(f, words); err != nil {
 		log.Fatal(err)
 	}
-	compiledTime := time.Since(t0)
-	compiledStats := compiled.Finish()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 
-	result, _ := interp.Probe("riscv_tb.result")
-	done, _ := interp.Probe("riscv_tb.done")
-	fmt.Printf("core halted: done=%s, x10 = %s (want 5050)\n", done, result)
-	fmt.Printf("assertion failures: interpreter %d, compiled %d\n",
-		interpStats.AssertionFailures, compiledStats.AssertionFailures)
-	fmt.Printf("interpreter: %v (%d delta steps)\n", interpTime, interpStats.DeltaSteps)
-	fmt.Printf("compiled:    %v (%d delta steps)\n", compiledTime, compiledStats.DeltaSteps)
+	d := designs.RV32I(hexPath)
+	obs := &llhd.TraceObserver{}
+	s, err := llhd.NewSession(
+		llhd.FromSystemVerilog(d.Source), llhd.Top(d.Top),
+		llhd.Backend(llhd.Blaze), llhd.WithObserver(obs),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	stats := s.Finish()
+
+	// Recover the core's final tohost and its dump stream from the trace
+	// (dump entries carry a sequence number in the upper 32 bits).
+	var tohost uint64
+	var dumps []uint64
+	for _, te := range obs.Entries {
+		switch {
+		case strings.HasSuffix(te.Sig.Name, "tohost"):
+			tohost = te.Value.Bits
+		case strings.HasSuffix(te.Sig.Name, "dump"):
+			dumps = append(dumps, te.Value.Bits&0xFFFFFFFF)
+		}
+	}
+	fmt.Printf("core: tohost = %d, dump stream = %v, assertion failures = %d\n",
+		tohost, dumps, stats.AssertionFailures)
+
+	if tohost != uint64(iss.ToHost) || len(dumps) != len(iss.Dump) ||
+		(len(dumps) > 0 && dumps[0] != uint64(iss.Dump[0])) {
+		log.Fatal("core and ISS disagree")
+	}
+	fmt.Println("core and ISS agree: 1..100 sums to", dumps[0])
 }

@@ -7,6 +7,8 @@ import (
 	"embed"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 //go:embed sv/*.sv
@@ -49,6 +51,23 @@ func All() []Design {
 		out = append(out, Design{Name: d.name, Display: d.display, Top: d.top, Source: string(src)})
 	}
 	return out
+}
+
+// rv32iHexPlaceholder is the image path baked into the embedded RV32I
+// source; RV32I swaps it for the caller's real image path.
+const rv32iHexPlaceholder = `"rv32i.hex"`
+
+// RV32I returns the full-ISA RV32I conformance core (not part of the
+// Table 2 benchmark set) with its $readmemh program load pointed at
+// hexPath. The conformance suite assembles an image per test, writes it
+// next to the test's temp dir, and elaborates this design against it.
+func RV32I(hexPath string) Design {
+	src, err := files.ReadFile("sv/rv32i.sv")
+	if err != nil {
+		panic(fmt.Sprintf("designs: missing embedded source for rv32i: %v", err))
+	}
+	text := strings.Replace(string(src), rv32iHexPlaceholder, strconv.Quote(hexPath), 1)
+	return Design{Name: "rv32i", Display: "RV32I Core", Top: "rv32i_tb", Source: text}
 }
 
 // ByName returns a single design.

@@ -268,10 +268,13 @@ type Index struct {
 	Idx Expr
 }
 
-// Slice is x[msb:lsb] (constant part select).
+// Slice is x[msb:lsb] (constant part select) or, with Up set, the
+// indexed part select x[base +: width]: Msb holds the (possibly dynamic)
+// base index and Lsb the constant width.
 type Slice struct {
 	X        Expr
 	Msb, Lsb Expr
+	Up       bool
 }
 
 // Concat is {a, b, c}.

@@ -183,6 +183,33 @@ func (c *compiler) elaborate(m *Module, overrides map[string]uint64) (string, er
 		}
 	}
 
+	// $readmemh loads resolve at elaboration into the array's initial
+	// image, like an '{...} initializer; the runtime call is a no-op.
+	for _, item := range m.Items {
+		ab, ok := item.(*AlwaysBlock)
+		if !ok {
+			continue
+		}
+		calls, err := CollectReadmemh(ab.Body)
+		if err != nil {
+			return "", fmt.Errorf("moore: %s: %w", m.Name, err)
+		}
+		if len(calls) > 0 && ab.Kind != "initial" {
+			return "", fmt.Errorf("moore: %s: $readmemh is only supported in initial blocks", m.Name)
+		}
+		for _, call := range calls {
+			ni := sc.nets[call.Array]
+			if ni == nil || !ni.isArray {
+				return "", fmt.Errorf("moore: %s: $readmemh target %q is not an unpacked array", m.Name, call.Array)
+			}
+			img, err := LoadHexImage(call.File, ni.width, ni.arrayLen)
+			if err != nil {
+				return "", fmt.Errorf("moore: %s: %w", m.Name, err)
+			}
+			ni.arrayInit = img
+		}
+	}
+
 	// Functions.
 	for _, item := range m.Items {
 		if fn, ok := item.(*FuncDecl); ok {
@@ -345,6 +372,9 @@ func collectIdents(s Stmt, out map[string]bool) {
 	case *AssertStmt:
 		collectExprIdents(st.Cond, out)
 	case *SysCallStmt:
+		if st.Name == "$readmemh" {
+			return // applied at elaboration; args claim no array ownership
+		}
 		for _, a := range st.Args {
 			collectExprIdents(a, out)
 		}
@@ -370,6 +400,8 @@ func collectExprIdents(e Expr, out map[string]bool) {
 		collectExprIdents(x.Idx, out)
 	case *Slice:
 		collectExprIdents(x.X, out)
+		collectExprIdents(x.Msb, out)
+		collectExprIdents(x.Lsb, out)
 	case *Concat:
 		for _, p := range x.Parts {
 			collectExprIdents(p, out)
@@ -717,6 +749,10 @@ func readsWrites(item Item, sc *scope) (reads, writes []string) {
 			if idx, ok := st.Target.(*Index); ok {
 				scanExpr(idx.Idx)
 			}
+			if sl, ok := st.Target.(*Slice); ok {
+				scanExpr(sl.Msb)
+				scanExpr(sl.Lsb)
+			}
 		case *IfStmt:
 			scanExpr(st.Cond)
 			scanStmt(st.Then)
@@ -751,6 +787,9 @@ func readsWrites(item Item, sc *scope) (reads, writes []string) {
 		case *AssertStmt:
 			scanExpr(st.Cond)
 		case *SysCallStmt:
+			if st.Name == "$readmemh" {
+				return // resolved at elaboration; reads no nets
+			}
 			for _, a := range st.Args {
 				scanExpr(a)
 			}

@@ -133,6 +133,27 @@ func (g *procGen) expr(e Expr) (cv, error) {
 		if err != nil {
 			return cv{}, err
 		}
+		if x.Up {
+			// Indexed part select x[base +: w]: constant width, dynamic
+			// base. Shift the vector down and truncate; bits selected
+			// past the top read as zero.
+			wamt, err := g.c.constEval(x.Lsb, g.sc)
+			if err != nil {
+				return cv{}, g.errf("indexed part select width must be constant: %v", err)
+			}
+			w := int(wamt)
+			if w <= 0 || w > base.width {
+				return cv{}, g.errf("indexed part select width %d out of range", w)
+			}
+			idx, err := g.expr(x.Msb)
+			if err != nil {
+				return cv{}, err
+			}
+			sh := g.b.Shr(base.v, g.coerce(idx, base.width))
+			sl := &ir.Inst{Op: ir.OpExtS, Ty: ir.IntType(w), Args: []ir.Value{sh}, Imm0: 0, Imm1: w}
+			g.append(sl)
+			return cv{v: sl, width: w}, nil
+		}
 		msb, err := g.c.constEval(x.Msb, g.sc)
 		if err != nil {
 			return cv{}, g.errf("part select bounds must be constant: %v", err)

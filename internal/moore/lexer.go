@@ -47,7 +47,7 @@ type lexer struct {
 
 // multi-character operators, longest first.
 var operators = []string{
-	"<<<", ">>>", "===", "!==", "<->",
+	"<<<", ">>>", "===", "!==", "<->", "+:",
 	"<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "++", "--",
 	"+=", "-=", "*=", "/=", "->", "::", ".*",
 	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",

@@ -1,6 +1,9 @@
 package moore
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -357,5 +360,195 @@ func TestCompiledTextContainsProcesses(t *testing.T) {
 	// Round trip through the assembly parser.
 	if _, err := assembly.Parse("rt", text); err != nil {
 		t.Errorf("compiled text does not reparse: %v", err)
+	}
+}
+
+// runZeroFailures compiles src, simulates top on the reference
+// interpreter, and requires a clean run with no assertion failures.
+func runZeroFailures(t *testing.T, src, top string) {
+	t.Helper()
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s, err := sim.New(m, top)
+	if err != nil {
+		t.Fatalf("sim.New: %v\n%s", err, assembly.String(m))
+	}
+	if err := s.Run(ir.Time{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Engine.Failures != 0 {
+		t.Errorf("%d assertion failures", s.Engine.Failures)
+	}
+}
+
+// TestArithmeticShiftVariableAmount pins >>> with a runtime shift amount
+// and the interaction with signed comparison chains — the expression
+// forms the RV32I core leans on for sra/srai and slt/blt.
+func TestArithmeticShiftVariableAmount(t *testing.T) {
+	runZeroFailures(t, `
+module sra_tb;
+  bit [31:0] a, sr, srl_r;
+  bit [4:0] n;
+  bit ge, lt_s, lt_u;
+  initial begin
+    a <= 32'h80000000;
+    n <= 5'd4;
+    #1ns;
+    sr <= $signed(a) >>> n;       // arithmetic: smears the sign bit
+    srl_r <= a >> n;              // logical: zero fill
+    lt_s <= $signed(a) < $signed(32'd1);
+    lt_u <= a < 32'd1;
+    ge <= $signed(32'd1) >= $signed(a);
+    #1ns;
+    assert(sr == 32'hF8000000);
+    assert(srl_r == 32'h08000000);
+    assert(lt_s == 1);            // INT_MIN < 1 signed
+    assert(lt_u == 0);            // 0x80000000 > 1 unsigned
+    assert(ge == 1);
+    $finish;
+  end
+endmodule
+`, "sra_tb")
+}
+
+// TestIndexedPartSelect covers x[base +: width] with a computed base, on
+// both the read and the write side, including the out-of-range behaviour
+// the engines must agree on: reads beyond the vector return zeros and
+// writes truncate at the vector boundary.
+func TestIndexedPartSelect(t *testing.T) {
+	runZeroFailures(t, `
+module ips_tb;
+  bit [31:0] w, r0, r1, r3, wr;
+  bit [4:0] sh;
+  initial begin
+    automatic bit [31:0] v;
+    w <= 32'h12345678;
+    #1ns;
+    sh <= {w[1:0], 3'b000};       // computed base: 0
+    #1ns;
+    r0 <= {24'b0, w[sh +: 8]};
+    r1 <= {24'b0, w[{5'd1, 3'b000} +: 8]};
+    r3 <= {16'b0, w[24 +: 16]};   // top half: only 8 bits exist -> zero pad
+    v = 32'hAABBCCDD;
+    v[8 +: 16] = 16'hBEEF;        // dynamic-width field write on a local
+    v[24 +: 16] = 16'h7788;       // truncates at bit 31
+    wr <= v;
+    #1ns;
+    assert(r0 == 32'h78);
+    assert(r1 == 32'h56);
+    assert(r3 == 32'h12);
+    assert(wr == 32'h88BEEFDD);
+    $finish;
+  end
+endmodule
+`, "ips_tb")
+}
+
+// TestIndexedPartSelectOnNet exercises the read-modify-write path for a
+// +: assignment whose target is a module-level net rather than a local.
+func TestIndexedPartSelectOnNet(t *testing.T) {
+	runZeroFailures(t, `
+module ipsnet_tb;
+  bit [31:0] w;
+  bit [4:0] b;
+  initial begin
+    w <= 32'hFFFF0000;
+    b <= 5'd8;
+    #1ns;
+    w[b +: 8] <= 8'hA5;
+    #1ns;
+    assert(w == 32'hFFFFA500);
+    $finish;
+  end
+endmodule
+`, "ipsnet_tb")
+}
+
+// TestReadmemh loads a hex image at elaboration time: the values must be
+// visible at time zero, before any process runs, and the image syntax
+// (comments, underscores, @address directives) must be honoured.
+func TestReadmemh(t *testing.T) {
+	hex := filepath.Join(t.TempDir(), "rom.hex")
+	img := `// line comment
+11 22   /* block
+comment */ 3_3
+@6
+AB_C  // lands at index 6
+`
+	if err := os.WriteFile(hex, []byte(img), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runZeroFailures(t, fmt.Sprintf(`
+module rom_tb;
+  bit [15:0] o0, o1, o2, o3, o6;
+  bit [15:0] rom [0:7];
+  initial $readmemh(%q, rom);
+  initial begin
+    o0 <= rom[0];               // reads at t=0: load must already be done
+    o1 <= rom[1];
+    o2 <= rom[2];
+    o3 <= rom[3];
+    o6 <= rom[6];
+    #1ns;
+    assert(o0 == 16'h11);
+    assert(o1 == 16'h22);
+    assert(o2 == 16'h33);
+    assert(o3 == 16'h0);        // skipped by @6: stays zero
+    assert(o6 == 16'hABC);
+    $finish;
+  end
+endmodule
+`, hex), "rom_tb")
+}
+
+// TestReadmemhDiagnostics pins the compile-time diagnostics: a missing
+// file, an out-of-range @address, an over-wide word, an overflowing
+// image, and use outside an initial block are all hard errors rather
+// than silent no-ops.
+func TestReadmemhDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	mod := func(path, kind string) string {
+		return fmt.Sprintf(`
+module t_tb;
+  bit [15:0] rom [0:3];
+  %s $readmemh(%q, rom);
+endmodule
+`, kind, path)
+	}
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing file", mod(filepath.Join(dir, "nope.hex"), "initial"), "cannot read"},
+		{"address out of range", mod(write("far.hex", "@8 11"), "initial"), "out of range"},
+		{"word too wide", mod(write("wide.hex", "FFFFF"), "initial"), "wider than"},
+		{"image overflow", mod(write("over.hex", "1 2 3 4 5"), "initial"), "past the end"},
+		{"non-initial block", mod(write("ok.hex", "1"), "always_comb"), "only supported in initial"},
+		{"scalar target", `
+module t_tb;
+  bit [15:0] rom;
+  initial $readmemh("x.hex", rom);
+endmodule
+`, "not an unpacked array"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("t", c.src)
+			if err == nil {
+				t.Fatalf("Compile unexpectedly succeeded")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
 	}
 }

@@ -1109,6 +1109,15 @@ func (p *svparser) postfix() (Expr, error) {
 					return nil, err
 				}
 				x = &Slice{X: x, Msb: idx, Lsb: lsb}
+			} else if p.accept(tPunct, "+:") {
+				w, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tPunct, "]"); err != nil {
+					return nil, err
+				}
+				x = &Slice{X: x, Msb: idx, Lsb: w, Up: true}
 			} else {
 				if _, err := p.expect(tPunct, "]"); err != nil {
 					return nil, err

@@ -638,7 +638,15 @@ func (g *procGen) sysCall(st *SysCallStmt) error {
 		g.b.Br(g.exitB)
 		g.dead = true
 		return nil
-	case "$readmemh", "$dumpfile", "$dumpvars", "$monitor":
+	case "$readmemh":
+		// The load happened at elaboration (see CollectReadmemh); the
+		// runtime call is a no-op. Elaboration rejects calls outside
+		// initial blocks, so only function bodies can reach here wrong.
+		if g.inFunc {
+			return g.errf("$readmemh inside a function")
+		}
+		return nil
+	case "$dumpfile", "$dumpvars", "$monitor":
 		return nil // accepted and ignored
 	}
 	return g.errf("unsupported system task %s", st.Name)
@@ -793,6 +801,9 @@ func (g *procGen) assign(st *AssignStmt) error {
 		if !ok {
 			return g.errf("unsupported assignment target")
 		}
+		if t.Up {
+			return g.assignUpSlice(st, t, id, rhs, delay)
+		}
 		msb, err := g.c.constEval(t.Msb, g.sc)
 		if err != nil {
 			return err
@@ -867,6 +878,51 @@ func (g *procGen) assign(st *AssignStmt) error {
 		return nil
 	}
 	return g.errf("unsupported assignment target %T", st.Target)
+}
+
+// assignUpSlice lowers "x[base +: w] = rhs": a read-modify-write that
+// clears the w-bit field at the dynamic base index and ors the new value
+// in. Fields shifted past the top of the vector are silently truncated,
+// matching the read form.
+func (g *procGen) assignUpSlice(st *AssignStmt, t *Slice, id *Ident, rhs cv, delay ir.Value) error {
+	wamt, err := g.c.constEval(t.Lsb, g.sc)
+	if err != nil {
+		return g.errf("indexed part select width must be constant: %v", err)
+	}
+	w := int(wamt)
+	tw, err := g.nameWidth(id.Name)
+	if err != nil {
+		return err
+	}
+	if w <= 0 || w > tw {
+		return g.errf("indexed part select width %d out of range", w)
+	}
+	idx, err := g.expr(t.Msb)
+	if err != nil {
+		return err
+	}
+	// All operands at the target width; the shift amount saturates via
+	// the IR's shift semantics (shifted-out bits vanish).
+	sh := g.coerce(idx, tw)
+	field := g.coerce(cv{v: g.coerce(rhs, w), width: w}, tw) // zero-extended
+	maskC := g.b.ConstInt(ir.IntType(tw), ir.MaskWidth(^uint64(0), w))
+	update := func(cur ir.Value) ir.Value {
+		cleared := g.b.And(cur, g.b.Not(g.b.Shl(maskC, sh)))
+		return g.b.Or(cleared, g.b.Shl(field, sh))
+	}
+	if lv, ok := g.locals[id.Name]; ok {
+		g.b.St(lv.slot, update(g.b.Ld(lv.slot)))
+		return nil
+	}
+	if g.sc.nets[id.Name] == nil {
+		return g.errf("assignment to unknown name %q", id.Name)
+	}
+	if st.Blocking && g.shadows[id.Name] != nil {
+		sh := g.shadows[id.Name]
+		g.b.St(sh, update(g.b.Ld(sh)))
+		return nil
+	}
+	return g.drive(id.Name, update(g.readNet(id.Name)), delay)
 }
 
 // drive emits a drv onto a net with the given (possibly nil => delta)

@@ -1,0 +1,567 @@
+package riscv
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates RV32I assembly into machine words. The dialect is
+// the subset the conformance suite needs: one instruction per line,
+// "label:" definitions, "#", "//", and ";" comments, decimal or 0x
+// immediates, x0..x31 register names, and the pseudo-instructions nop,
+// mv, li, and j.
+func Assemble(src string) ([]uint32, error) {
+	type line struct {
+		no     int
+		label  string
+		mnem   string
+		ops    []string
+		pc     uint32 // filled in pass 1
+		expand int    // words this line assembles to
+	}
+	var lines []line
+	for no, raw := range strings.Split(src, "\n") {
+		text := raw
+		for _, c := range []string{"#", "//", ";"} {
+			if i := strings.Index(text, c); i >= 0 {
+				text = text[:i]
+			}
+		}
+		text = strings.TrimSpace(text)
+		for text != "" {
+			l := line{no: no + 1}
+			if i := strings.Index(text, ":"); i >= 0 && !strings.ContainsAny(text[:i], " \t(") {
+				l.label = text[:i]
+				text = strings.TrimSpace(text[i+1:])
+			}
+			if text != "" {
+				fields := strings.Fields(text)
+				l.mnem = strings.ToLower(fields[0])
+				ops := strings.Join(fields[1:], " ")
+				for _, op := range strings.Split(ops, ",") {
+					op = strings.TrimSpace(op)
+					if op != "" {
+						l.ops = append(l.ops, op)
+					}
+				}
+				text = ""
+			}
+			lines = append(lines, l)
+		}
+	}
+
+	// Pass 1: assign addresses and resolve pseudo-instruction sizes.
+	labels := map[string]uint32{}
+	pc := uint32(0)
+	for i := range lines {
+		l := &lines[i]
+		l.pc = pc
+		if l.label != "" {
+			if _, dup := labels[l.label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", l.no, l.label)
+			}
+			labels[l.label] = pc
+		}
+		if l.mnem == "" {
+			continue
+		}
+		l.expand = 1
+		if l.mnem == "li" {
+			if len(l.ops) != 2 {
+				return nil, fmt.Errorf("line %d: li takes rd, imm", l.no)
+			}
+			v, err := parseImm(l.ops[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", l.no, err)
+			}
+			if v < -2048 || v > 2047 {
+				l.expand = 2
+			}
+		}
+		pc += uint32(4 * l.expand)
+	}
+
+	// Pass 2: encode.
+	var words []uint32
+	for i := range lines {
+		l := &lines[i]
+		if l.mnem == "" {
+			continue
+		}
+		ws, err := encodeLine(l.mnem, l.ops, l.pc, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", l.no, err)
+		}
+		if len(ws) != l.expand {
+			return nil, fmt.Errorf("line %d: internal size mismatch", l.no)
+		}
+		words = append(words, ws...)
+	}
+	if len(words) > IMemWords {
+		return nil, fmt.Errorf("program has %d words, instruction memory holds %d", len(words), IMemWords)
+	}
+	return words, nil
+}
+
+// WriteHex emits the image in $readmemh format, one word per line.
+func WriteHex(w io.Writer, words []uint32) error {
+	for _, word := range words {
+		if _, err := fmt.Fprintf(w, "%08x\n", word); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseReg(s string) (uint32, error) {
+	if !strings.HasPrefix(s, "x") {
+		return 0, fmt.Errorf("bad register %q (use x0..x31)", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q (use x0..x31)", s)
+	}
+	return uint32(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem splits "off(rs)" into its offset and base register.
+func parseMem(s string) (int64, uint32, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want off(reg))", s)
+	}
+	off := int64(0)
+	if o := strings.TrimSpace(s[:open]); o != "" {
+		v, err := parseImm(o)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	rs, err := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, rs, nil
+}
+
+// resolveTarget turns a branch/jump operand (label or numeric byte
+// offset) into a PC-relative offset.
+func resolveTarget(s string, pc uint32, labels map[string]uint32) (int64, error) {
+	if t, ok := labels[s]; ok {
+		return int64(int32(t) - int32(pc)), nil
+	}
+	return parseImm(s)
+}
+
+func checkRange(v int64, bits int, what string) error {
+	min, max := int64(-1)<<(bits-1), int64(1)<<(bits-1)-1
+	if v < min || v > max {
+		return fmt.Errorf("%s %d out of %d-bit range", what, v, bits)
+	}
+	return nil
+}
+
+const (
+	opLoad   = 0x03
+	opAluImm = 0x13
+	opAuipc  = 0x17
+	opStore  = 0x23
+	opAluReg = 0x33
+	opLui    = 0x37
+	opBranch = 0x63
+	opJalr   = 0x67
+	opJal    = 0x6F
+	opSystem = 0x73
+)
+
+func encR(f7, rs2, rs1, f3, rd, op uint32) uint32 {
+	return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+
+func encI(imm int64, rs1, f3, rd, op uint32) uint32 {
+	return uint32(imm&0xFFF)<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+
+func encS(imm int64, rs2, rs1, f3, op uint32) uint32 {
+	i := uint32(imm) & 0xFFF
+	return (i>>5)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (i&0x1F)<<7 | op
+}
+
+func encB(imm int64, rs2, rs1, f3, op uint32) uint32 {
+	i := uint32(imm) & 0x1FFF
+	return (i>>12)<<31 | (i>>5&0x3F)<<25 | rs2<<20 | rs1<<15 | f3<<12 |
+		(i>>1&0xF)<<8 | (i>>11&1)<<7 | op
+}
+
+func encU(imm int64, rd, op uint32) uint32 {
+	return uint32(imm&0xFFFFF)<<12 | rd<<7 | op
+}
+
+func encJ(imm int64, rd, op uint32) uint32 {
+	i := uint32(imm) & 0x1FFFFF
+	return (i>>20)<<31 | (i>>1&0x3FF)<<21 | (i>>11&1)<<20 | (i>>12&0xFF)<<12 | rd<<7 | op
+}
+
+var aluImmF3 = map[string]uint32{
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+var aluRegF3 = map[string]struct{ f3, f7 uint32 }{
+	"add": {0, 0x00}, "sub": {0, 0x20}, "sll": {1, 0x00},
+	"slt": {2, 0x00}, "sltu": {3, 0x00}, "xor": {4, 0x00},
+	"srl": {5, 0x00}, "sra": {5, 0x20}, "or": {6, 0x00}, "and": {7, 0x00},
+}
+var shiftImmF7 = map[string]struct{ f3, f7 uint32 }{
+	"slli": {1, 0x00}, "srli": {5, 0x00}, "srai": {5, 0x20},
+}
+var branchF3 = map[string]uint32{
+	"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7,
+}
+var loadF3 = map[string]uint32{
+	"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5,
+}
+var storeF3 = map[string]uint32{
+	"sb": 0, "sh": 1, "sw": 2,
+}
+
+func encodeLine(mnem string, ops []string, pc uint32, labels map[string]uint32) ([]uint32, error) {
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	switch {
+	case mnem == "nop":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(0, 0, 0, 0, opAluImm)}, nil
+
+	case mnem == "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encI(0, rs, 0, rd, opAluImm)}, nil
+
+	case mnem == "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if v >= -2048 && v <= 2047 {
+			return []uint32{encI(v, 0, 0, rd, opAluImm)}, nil
+		}
+		if v < -(1<<31) || v > 0xFFFFFFFF {
+			return nil, fmt.Errorf("li immediate %d out of 32-bit range", v)
+		}
+		lo := int64(int32(uint32(v)<<20) >> 20) // sign-extended low 12
+		hi := (uint32(v) - uint32(lo)) >> 12
+		return []uint32{encU(int64(hi), rd, opLui), encI(lo, rd, 0, rd, opAluImm)}, nil
+
+	case mnem == "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := resolveTarget(ops[0], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(off, 21, "jump offset"); err != nil {
+			return nil, err
+		}
+		return []uint32{encJ(off, 0, opJal)}, nil
+
+	case mnem == "jal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := resolveTarget(ops[1], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(off, 21, "jump offset"); err != nil {
+			return nil, err
+		}
+		return []uint32{encJ(off, rd, opJal)}, nil
+
+	case mnem == "jalr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(off, 12, "jalr offset"); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(off, rs1, 0, rd, opJalr)}, nil
+
+	case mnem == "lui" || mnem == "auipc":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 0xFFFFF {
+			return nil, fmt.Errorf("%s immediate %d out of 20-bit range", mnem, v)
+		}
+		op := uint32(opLui)
+		if mnem == "auipc" {
+			op = opAuipc
+		}
+		return []uint32{encU(v, rd, op)}, nil
+
+	case mnem == "ebreak":
+		return []uint32{encI(1, 0, 0, 0, opSystem)}, nil
+	case mnem == "ecall":
+		return []uint32{encI(0, 0, 0, 0, opSystem)}, nil
+	}
+
+	if f3, ok := aluImmF3[mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(v, 12, "immediate"); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(v, rs1, f3, rd, opAluImm)}, nil
+	}
+	if sh, ok := shiftImmF7[mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 31 {
+			return nil, fmt.Errorf("shift amount %d out of range", v)
+		}
+		return []uint32{encR(sh.f7, uint32(v), rs1, sh.f3, rd, opAluImm)}, nil
+	}
+	if r, ok := aluRegF3[mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encR(r.f7, rs2, rs1, r.f3, rd, opAluReg)}, nil
+	}
+	if f3, ok := branchF3[mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := resolveTarget(ops[2], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(off, 13, "branch offset"); err != nil {
+			return nil, err
+		}
+		return []uint32{encB(off, rs2, rs1, f3, opBranch)}, nil
+	}
+	if f3, ok := loadF3[mnem]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(off, 12, "load offset"); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(off, rs1, f3, rd, opLoad)}, nil
+	}
+	if f3, ok := storeF3[mnem]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(off, 12, "store offset"); err != nil {
+			return nil, err
+		}
+		return []uint32{encS(off, rs2, rs1, f3, opStore)}, nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+// Inst is a decoded instruction, for round-trip tests and debugging.
+type Inst struct {
+	Mnemonic string
+	Rd       uint32
+	Rs1      uint32
+	Rs2      uint32
+	Imm      int32 // sign-extended immediate; shamt for immediate shifts
+}
+
+// Decode disassembles one machine word.
+func Decode(word uint32) (Inst, error) {
+	op := word & 0x7F
+	rd := word >> 7 & 0x1F
+	f3 := word >> 12 & 0x7
+	rs1 := word >> 15 & 0x1F
+	rs2 := word >> 20 & 0x1F
+	f7 := word >> 25
+	iimm := int32(word) >> 20
+	simm := int32(word)>>25<<5 | int32(rd)
+	bimm := int32(word)>>31<<12 | int32(word>>7&1)<<11 | int32(word>>25&0x3F)<<5 | int32(word>>8&0xF)<<1
+	uimm := int32(word >> 12)
+	jimm := int32(word)>>31<<20 | int32(word>>12&0xFF)<<12 | int32(word>>20&1)<<11 | int32(word>>21&0x3FF)<<1
+
+	find := func(m map[string]uint32, f3v uint32) string {
+		for n, v := range m {
+			if v == f3v {
+				return n
+			}
+		}
+		return ""
+	}
+	switch op {
+	case opLui:
+		return Inst{Mnemonic: "lui", Rd: rd, Imm: uimm}, nil
+	case opAuipc:
+		return Inst{Mnemonic: "auipc", Rd: rd, Imm: uimm}, nil
+	case opJal:
+		return Inst{Mnemonic: "jal", Rd: rd, Imm: jimm}, nil
+	case opJalr:
+		if f3 != 0 {
+			return Inst{}, fmt.Errorf("riscv: bad jalr funct3 %d", f3)
+		}
+		return Inst{Mnemonic: "jalr", Rd: rd, Rs1: rs1, Imm: iimm}, nil
+	case opBranch:
+		n := find(branchF3, f3)
+		if n == "" {
+			return Inst{}, fmt.Errorf("riscv: bad branch funct3 %d", f3)
+		}
+		return Inst{Mnemonic: n, Rs1: rs1, Rs2: rs2, Imm: bimm}, nil
+	case opLoad:
+		n := find(loadF3, f3)
+		if n == "" {
+			return Inst{}, fmt.Errorf("riscv: bad load funct3 %d", f3)
+		}
+		return Inst{Mnemonic: n, Rd: rd, Rs1: rs1, Imm: iimm}, nil
+	case opStore:
+		n := find(storeF3, f3)
+		if n == "" {
+			return Inst{}, fmt.Errorf("riscv: bad store funct3 %d", f3)
+		}
+		return Inst{Mnemonic: n, Rs1: rs1, Rs2: rs2, Imm: simm}, nil
+	case opAluImm:
+		if f3 == 1 || f3 == 5 {
+			for n, s := range shiftImmF7 {
+				if s.f3 == f3 && s.f7 == f7 {
+					return Inst{Mnemonic: n, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+				}
+			}
+			return Inst{}, fmt.Errorf("riscv: bad shift funct7 %#x", f7)
+		}
+		return Inst{Mnemonic: find(aluImmF3, f3), Rd: rd, Rs1: rs1, Imm: iimm}, nil
+	case opAluReg:
+		for n, s := range aluRegF3 {
+			if s.f3 == f3 && s.f7 == f7 {
+				return Inst{Mnemonic: n, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+		}
+		return Inst{}, fmt.Errorf("riscv: bad ALU encoding f3=%d f7=%#x", f3, f7)
+	case opSystem:
+		switch word >> 20 {
+		case 0:
+			return Inst{Mnemonic: "ecall"}, nil
+		case 1:
+			return Inst{Mnemonic: "ebreak"}, nil
+		}
+		return Inst{}, fmt.Errorf("riscv: unsupported system instruction %#08x", word)
+	}
+	return Inst{}, fmt.Errorf("riscv: unknown opcode %#02x in %#08x", op, word)
+}

@@ -1,0 +1,242 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ISS is the reference instruction-set simulator: a direct transcription
+// of the machine model in the package comment, kept deliberately simple
+// so it can serve as the golden oracle for the hardware core. Unlike the
+// core (which treats unknown opcodes as nops, as hardware must), the ISS
+// rejects anything it cannot decode — a conformance image that trips
+// that error is a bad image, not a simulator bug.
+type ISS struct {
+	PC     uint32
+	Regs   [32]uint32
+	IMem   [IMemWords]uint32
+	DMem   [DMemWords]uint32
+	ToHost uint32
+	Done   bool
+	// Dump records every store to DumpAddr, in order.
+	Dump  []uint32
+	Steps int
+}
+
+// NewISS builds a simulator over the given program image.
+func NewISS(words []uint32) *ISS {
+	s := &ISS{}
+	for i, w := range words {
+		if i >= IMemWords {
+			break
+		}
+		s.IMem[i] = w
+	}
+	return s
+}
+
+// Run steps until the machine halts or the step budget is exhausted.
+func (s *ISS) Run(maxSteps int) error {
+	for !s.Done {
+		if s.Steps >= maxSteps {
+			return fmt.Errorf("riscv: no halt within %d steps (pc=%#x)", maxSteps, s.PC)
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (s *ISS) Step() error {
+	if s.Done {
+		return nil
+	}
+	s.Steps++
+	word := s.IMem[(s.PC>>2)&(IMemWords-1)]
+	op := word & 0x7F
+	rd := word >> 7 & 0x1F
+	f3 := word >> 12 & 0x7
+	rs1v := s.Regs[word>>15&0x1F]
+	rs2v := s.Regs[word>>20&0x1F]
+	f7 := word >> 25
+	iimm := uint32(int32(word) >> 20)
+	nextPC := s.PC + 4
+	wb := false
+	var res uint32
+
+	switch op {
+	case opLui:
+		res, wb = word&0xFFFFF000, true
+	case opAuipc:
+		res, wb = s.PC+word&0xFFFFF000, true
+	case opJal:
+		jimm := uint32(int32(word)>>31<<20) | word>>12&0xFF<<12 | word>>20&1<<11 | word>>21&0x3FF<<1
+		res, wb = s.PC+4, true
+		nextPC = s.PC + jimm
+	case opJalr:
+		res, wb = s.PC+4, true
+		nextPC = (rs1v + iimm) &^ 1
+	case opBranch:
+		bimm := uint32(int32(word)>>31<<12) | word>>7&1<<11 | word>>25&0x3F<<5 | word>>8&0xF<<1
+		var taken bool
+		switch f3 {
+		case 0:
+			taken = rs1v == rs2v
+		case 1:
+			taken = rs1v != rs2v
+		case 4:
+			taken = int32(rs1v) < int32(rs2v)
+		case 5:
+			taken = int32(rs1v) >= int32(rs2v)
+		case 6:
+			taken = rs1v < rs2v
+		case 7:
+			taken = rs1v >= rs2v
+		default:
+			return fmt.Errorf("riscv: pc=%#x: bad branch funct3 %d", s.PC, f3)
+		}
+		if taken {
+			nextPC = s.PC + bimm
+		}
+	case opAluImm:
+		v, err := aluOp(f3, f7, rs1v, iimm, true)
+		if err != nil {
+			return fmt.Errorf("riscv: pc=%#x: %w", s.PC, err)
+		}
+		res, wb = v, true
+	case opAluReg:
+		v, err := aluOp(f3, f7, rs1v, rs2v, false)
+		if err != nil {
+			return fmt.Errorf("riscv: pc=%#x: %w", s.PC, err)
+		}
+		res, wb = v, true
+	case opLoad:
+		addr := rs1v + iimm
+		word := s.DMem[(addr>>2)&(DMemWords-1)]
+		sh := 8 * (addr & 3)
+		switch f3 {
+		case 0: // lb
+			res = uint32(int32(word>>sh) << 24 >> 24)
+		case 1: // lh
+			res = uint32(int32(word>>sh) << 16 >> 16)
+		case 2: // lw
+			res = word
+		case 4: // lbu
+			res = word >> sh & 0xFF
+		case 5: // lhu
+			res = word >> sh & 0xFFFF
+		default:
+			return fmt.Errorf("riscv: pc=%#x: bad load funct3 %d", s.PC, f3)
+		}
+		wb = true
+	case opStore:
+		simm := uint32(int32(word)>>25<<5) | rd
+		addr := rs1v + simm
+		switch {
+		case addr == TohostAddr && f3 == 2:
+			s.ToHost = rs2v
+			s.Done = true
+			return nil
+		case addr == DumpAddr && f3 == 2:
+			s.Dump = append(s.Dump, rs2v)
+		default:
+			idx := (addr >> 2) & (DMemWords - 1)
+			cur := s.DMem[idx]
+			sh := 8 * (addr & 3)
+			switch f3 {
+			case 0: // sb
+				m := uint32(0xFF) << sh
+				s.DMem[idx] = cur&^m | rs2v&0xFF<<sh
+			case 1: // sh
+				m := uint32(0xFFFF) << sh
+				s.DMem[idx] = cur&^m | rs2v&0xFFFF<<sh
+			case 2: // sw
+				s.DMem[idx] = rs2v
+			default:
+				return fmt.Errorf("riscv: pc=%#x: bad store funct3 %d", s.PC, f3)
+			}
+		}
+	case opSystem:
+		switch word >> 20 {
+		case 0, 1: // ecall, ebreak
+			s.Done = true
+			return nil
+		}
+		return fmt.Errorf("riscv: pc=%#x: unsupported system instruction %#08x", s.PC, word)
+	default:
+		return fmt.Errorf("riscv: pc=%#x: unknown opcode %#02x in %#08x", s.PC, op, word)
+	}
+
+	if wb && rd != 0 {
+		s.Regs[rd] = res
+	}
+	s.PC = nextPC
+	return nil
+}
+
+// aluOp evaluates the shared ALU for register (b = rs2) and immediate
+// (b = iimm) forms. Shift amounts mask to 5 bits; immediate shifts carry
+// the funct7 discriminator inside the immediate.
+func aluOp(f3, f7, a, b uint32, imm bool) (uint32, error) {
+	if imm && (f3 == 1 || f3 == 5) {
+		f7 = b >> 5 & 0x7F
+		b &= 0x1F
+	}
+	switch f3 {
+	case 0: // add/sub/addi
+		if !imm && f7 == 0x20 {
+			return a - b, nil
+		}
+		return a + b, nil
+	case 1:
+		return a << (b & 0x1F), nil
+	case 2:
+		if int32(a) < int32(b) {
+			return 1, nil
+		}
+		return 0, nil
+	case 3:
+		if a < b {
+			return 1, nil
+		}
+		return 0, nil
+	case 4:
+		return a ^ b, nil
+	case 5:
+		if f7 == 0x20 {
+			return uint32(int32(a) >> (b & 0x1F)), nil
+		}
+		if f7 != 0 {
+			return 0, fmt.Errorf("bad shift funct7 %#x", f7)
+		}
+		return a >> (b & 0x1F), nil
+	case 6:
+		return a | b, nil
+	case 7:
+		return a & b, nil
+	}
+	return 0, fmt.Errorf("bad ALU funct3 %d", f3)
+}
+
+// SelfCheckEpilogue is the shared tail appended to every conformance
+// image: the "pass" path dumps x1..x31 and the first dumpWords data
+// words through DumpAddr, then reports success via tohost; the "fail"
+// path reports (TESTNUM<<1)|1 with the test number taken from x28, per
+// the riscv-tests convention. x31 is the dump scratch register, so its
+// dumped value is whatever it held on entry to the epilogue.
+func SelfCheckEpilogue() string {
+	const dumpWords = 16
+	var b strings.Builder
+	b.WriteString("pass:\n")
+	for r := 1; r < 32; r++ {
+		fmt.Fprintf(&b, "  sw x%d, %d(x0)\n", r, DumpAddr)
+	}
+	for i := 0; i < dumpWords; i++ {
+		fmt.Fprintf(&b, "  lw x31, %d(x0)\n  sw x31, %d(x0)\n", i*4, DumpAddr)
+	}
+	fmt.Fprintf(&b, "  li x31, 1\n  sw x31, %d(x0)\n  ebreak\n", TohostAddr)
+	fmt.Fprintf(&b, "fail:\n  slli x31, x28, 1\n  ori x31, x31, 1\n  sw x31, %d(x0)\n  ebreak\n", TohostAddr)
+	return b.String()
+}

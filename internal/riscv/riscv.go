@@ -1,0 +1,34 @@
+// Package riscv is the architectural side of the RV32I conformance
+// suite: a tiny assembler that turns readable mnemonics into $readmemh
+// images, and a reference instruction-set simulator (ISS) that executes
+// the same image as an independent golden model. The hardware core under
+// test lives in internal/designs/sv/rv32i.sv; the ISS deliberately
+// shares nothing with the simulation engines, so "all engines agree with
+// the ISS" is evidence of being right, not merely of being consistent.
+//
+// Machine model (mirrored exactly by the SV core):
+//
+//   - IMemWords words of instruction memory, fetched at (pc>>2) modulo
+//     the memory size.
+//   - DMemWords words of data memory, addressed at (addr>>2) modulo the
+//     memory size. Word accesses ignore addr[1:0]; byte and halfword
+//     accesses shift within the addressed word and truncate at the word
+//     boundary (a halfword at offset 3 reads/writes only the top byte).
+//   - A store to TohostAddr latches the value into the tohost register
+//     and halts: 1 = pass, (n<<1)|1 = test number n failed (the
+//     riscv-tests protocol).
+//   - A store to DumpAddr appends the value to the dump stream, the
+//     mechanism conformance images use to expose final architectural
+//     state (registers, then data memory) to the outside.
+//   - ebreak/ecall halt without a verdict.
+package riscv
+
+const (
+	// TohostAddr receives the riscv-tests pass/fail verdict.
+	TohostAddr = 0x100
+	// DumpAddr receives the architectural state dump stream.
+	DumpAddr = 0x104
+	// IMemWords and DMemWords size the two memories, in 32-bit words.
+	IMemWords = 256
+	DMemWords = 64
+)

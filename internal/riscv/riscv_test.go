@@ -1,0 +1,280 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAssembleDecodeRoundTrip pins the encoder against the decoder: each
+// mnemonic assembles to one word that decodes back to the same fields.
+func TestAssembleDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Inst
+	}{
+		{"addi x5, x6, -12", Inst{Mnemonic: "addi", Rd: 5, Rs1: 6, Imm: -12}},
+		{"slti x1, x2, 2047", Inst{Mnemonic: "slti", Rd: 1, Rs1: 2, Imm: 2047}},
+		{"sltiu x1, x2, -1", Inst{Mnemonic: "sltiu", Rd: 1, Rs1: 2, Imm: -1}},
+		{"xori x3, x4, 255", Inst{Mnemonic: "xori", Rd: 3, Rs1: 4, Imm: 255}},
+		{"ori x3, x4, -256", Inst{Mnemonic: "ori", Rd: 3, Rs1: 4, Imm: -256}},
+		{"andi x3, x4, 15", Inst{Mnemonic: "andi", Rd: 3, Rs1: 4, Imm: 15}},
+		{"slli x7, x8, 31", Inst{Mnemonic: "slli", Rd: 7, Rs1: 8, Imm: 31}},
+		{"srli x7, x8, 1", Inst{Mnemonic: "srli", Rd: 7, Rs1: 8, Imm: 1}},
+		{"srai x7, x8, 4", Inst{Mnemonic: "srai", Rd: 7, Rs1: 8, Imm: 4}},
+		{"add x1, x2, x3", Inst{Mnemonic: "add", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"sub x1, x2, x3", Inst{Mnemonic: "sub", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"sll x1, x2, x3", Inst{Mnemonic: "sll", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"slt x1, x2, x3", Inst{Mnemonic: "slt", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"sltu x1, x2, x3", Inst{Mnemonic: "sltu", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"xor x1, x2, x3", Inst{Mnemonic: "xor", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"srl x1, x2, x3", Inst{Mnemonic: "srl", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"sra x1, x2, x3", Inst{Mnemonic: "sra", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"or x1, x2, x3", Inst{Mnemonic: "or", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"and x1, x2, x3", Inst{Mnemonic: "and", Rd: 1, Rs1: 2, Rs2: 3}},
+		{"lui x9, 0xFFFFF", Inst{Mnemonic: "lui", Rd: 9, Imm: 0xFFFFF}},
+		{"auipc x9, 16", Inst{Mnemonic: "auipc", Rd: 9, Imm: 16}},
+		{"jal x1, -2048", Inst{Mnemonic: "jal", Rd: 1, Imm: -2048}},
+		{"jalr x1, 8(x2)", Inst{Mnemonic: "jalr", Rd: 1, Rs1: 2, Imm: 8}},
+		{"beq x1, x2, 16", Inst{Mnemonic: "beq", Rs1: 1, Rs2: 2, Imm: 16}},
+		{"bne x1, x2, -16", Inst{Mnemonic: "bne", Rs1: 1, Rs2: 2, Imm: -16}},
+		{"blt x1, x2, 4094", Inst{Mnemonic: "blt", Rs1: 1, Rs2: 2, Imm: 4094}},
+		{"bge x1, x2, -4096", Inst{Mnemonic: "bge", Rs1: 1, Rs2: 2, Imm: -4096}},
+		{"bltu x1, x2, 2", Inst{Mnemonic: "bltu", Rs1: 1, Rs2: 2, Imm: 2}},
+		{"bgeu x1, x2, -2", Inst{Mnemonic: "bgeu", Rs1: 1, Rs2: 2, Imm: -2}},
+		{"lb x1, -1(x2)", Inst{Mnemonic: "lb", Rd: 1, Rs1: 2, Imm: -1}},
+		{"lh x1, 2(x2)", Inst{Mnemonic: "lh", Rd: 1, Rs1: 2, Imm: 2}},
+		{"lw x1, 4(x2)", Inst{Mnemonic: "lw", Rd: 1, Rs1: 2, Imm: 4}},
+		{"lbu x1, 3(x2)", Inst{Mnemonic: "lbu", Rd: 1, Rs1: 2, Imm: 3}},
+		{"lhu x1, 0(x2)", Inst{Mnemonic: "lhu", Rd: 1, Rs1: 2, Imm: 0}},
+		{"sb x1, -2048(x2)", Inst{Mnemonic: "sb", Rs1: 2, Rs2: 1, Imm: -2048}},
+		{"sh x1, 2047(x2)", Inst{Mnemonic: "sh", Rs1: 2, Rs2: 1, Imm: 2047}},
+		{"sw x1, 64(x2)", Inst{Mnemonic: "sw", Rs1: 2, Rs2: 1, Imm: 64}},
+		{"ebreak", Inst{Mnemonic: "ebreak"}},
+		{"ecall", Inst{Mnemonic: "ecall"}},
+	}
+	for _, tc := range cases {
+		words, err := Assemble(tc.src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if len(words) != 1 {
+			t.Errorf("%s: %d words, want 1", tc.src, len(words))
+			continue
+		}
+		got, err := Decode(words[0])
+		if err != nil {
+			t.Errorf("%s: decode %#08x: %v", tc.src, words[0], err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: decoded %+v, want %+v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestAssemblerLabelsAndPseudos exercises labels, li expansion, and the
+// j/mv/nop pseudo-instructions through the ISS.
+func TestAssemblerLabelsAndPseudos(t *testing.T) {
+	words, err := Assemble(`
+		li x1, 0x12345678   // expands to lui+addi
+		li x2, -5           // single addi
+		mv x3, x1
+		j over
+		nop                 # skipped
+	over:
+		ebreak
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewISS(words)
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Regs[1] != 0x12345678 {
+		t.Errorf("li wide: x1 = %#x, want 0x12345678", s.Regs[1])
+	}
+	if s.Regs[2] != 0xFFFFFFFB {
+		t.Errorf("li negative: x2 = %#x, want -5", s.Regs[2])
+	}
+	if s.Regs[3] != 0x12345678 {
+		t.Errorf("mv: x3 = %#x", s.Regs[3])
+	}
+	if s.PC != uint32(4*(len(words)-1)) {
+		t.Errorf("j pseudo landed at pc=%#x", s.PC)
+	}
+}
+
+func runISS(t *testing.T, src string) *ISS {
+	t.Helper()
+	words, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewISS(words)
+	if err := s.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestISSSignExtension pins the sign-extension corners: negative
+// immediates, srai vs srli, and signed sub-word loads.
+func TestISSSignExtension(t *testing.T) {
+	s := runISS(t, `
+		addi x1, x0, -1      # x1 = 0xFFFFFFFF
+		srai x2, x1, 4       # arithmetic: stays -1
+		srli x3, x1, 28      # logical: 0xF
+		li x4, 0x8000
+		sh x4, 0(x0)         # dmem[0] lower half = 0x8000
+		lh x5, 0(x0)         # sign-extends to 0xFFFF8000
+		lhu x6, 0(x0)        # zero-extends to 0x00008000
+		li x7, 0x80
+		sb x7, 4(x0)
+		lb x8, 4(x0)         # 0xFFFFFF80
+		lbu x9, 4(x0)        # 0x00000080
+		slti x10, x1, 0      # -1 < 0 signed
+		sltiu x11, x1, 0     # 0xFFFFFFFF < 0 unsigned is false
+		ebreak
+	`)
+	want := map[int]uint32{
+		2: 0xFFFFFFFF, 3: 0xF, 5: 0xFFFF8000, 6: 0x8000,
+		8: 0xFFFFFF80, 9: 0x80, 10: 1, 11: 0,
+	}
+	for r, w := range want {
+		if s.Regs[r] != w {
+			t.Errorf("x%d = %#x, want %#x", r, s.Regs[r], w)
+		}
+	}
+}
+
+// TestISSShiftMasking pins the 5-bit shift-amount rule for register
+// shifts: only rs2[4:0] counts.
+func TestISSShiftMasking(t *testing.T) {
+	s := runISS(t, `
+		li x1, 1
+		li x2, 33            # shift amount 33 -> masked to 1
+		sll x3, x1, x2       # 1 << 1 = 2
+		li x4, 0x80000000
+		srl x5, x4, x2       # >> 1
+		sra x6, x4, x2       # arithmetic >> 1
+		ebreak
+	`)
+	if s.Regs[3] != 2 {
+		t.Errorf("sll masked: x3 = %#x, want 2", s.Regs[3])
+	}
+	if s.Regs[5] != 0x40000000 {
+		t.Errorf("srl masked: x5 = %#x", s.Regs[5])
+	}
+	if s.Regs[6] != 0xC0000000 {
+		t.Errorf("sra masked: x6 = %#x", s.Regs[6])
+	}
+}
+
+// TestISSMisalignedAccess pins the word-truncating sub-word semantics:
+// accesses shift within the addressed word and never cross into the
+// next word.
+func TestISSMisalignedAccess(t *testing.T) {
+	s := runISS(t, `
+		li x1, 0x11223344
+		sw x1, 0(x0)
+		sw x1, 4(x0)
+		li x2, 0xAB
+		sb x2, 3(x0)         # top byte of word 0
+		lw x3, 0(x0)         # 0xAB223344
+		li x4, 0xCDEF
+		sh x4, 6(x0)         # top half of word 1
+		lw x5, 4(x0)         # 0xCDEF3344
+		lh x6, 3(x0)         # half at byte 3: only the top byte, zero-padded above
+		lw x7, 2(x0)         # misaligned word: addr[1:0] ignored -> word 0
+		ebreak
+	`)
+	if s.Regs[3] != 0xAB223344 {
+		t.Errorf("sb into word: x3 = %#x, want 0xAB223344", s.Regs[3])
+	}
+	if s.Regs[5] != 0xCDEF3344 {
+		t.Errorf("sh into word: x5 = %#x, want 0xCDEF3344", s.Regs[5])
+	}
+	if s.Regs[6] != 0xAB {
+		t.Errorf("lh at offset 3 truncates at word edge: x6 = %#x, want 0xAB", s.Regs[6])
+	}
+	if s.Regs[7] != 0xAB223344 {
+		t.Errorf("misaligned lw: x7 = %#x, want 0xAB223344", s.Regs[7])
+	}
+}
+
+// TestISSToHostAndDump pins the conformance protocol: dumps stream
+// through DumpAddr, a tohost store halts with the verdict, and the
+// shared epilogue reports registers then memory.
+func TestISSToHostAndDump(t *testing.T) {
+	s := runISS(t, `
+		li x1, 7
+		sw x1, 260(x0)       # dump 7
+		li x2, 9
+		sw x2, 260(x0)       # dump 9
+		li x3, 5
+		sw x3, 256(x0)       # tohost = 5: fail verdict for test 2
+		nop                  # never reached
+	`)
+	if !s.Done {
+		t.Fatal("tohost store must halt")
+	}
+	if s.ToHost != 5 {
+		t.Errorf("tohost = %d, want 5", s.ToHost)
+	}
+	if len(s.Dump) != 2 || s.Dump[0] != 7 || s.Dump[1] != 9 {
+		t.Errorf("dump stream = %v, want [7 9]", s.Dump)
+	}
+}
+
+// TestSelfCheckEpilogue runs a minimal image through the shared epilogue
+// and checks the dump layout: x1..x31, then the first data words; the
+// fail path reports (TESTNUM<<1)|1.
+func TestSelfCheckEpilogue(t *testing.T) {
+	s := runISS(t, `
+		li x5, 42
+		li x6, 0x123
+		sw x5, 0(x0)
+		j pass
+	`+SelfCheckEpilogue())
+	if s.ToHost != 1 {
+		t.Fatalf("tohost = %d, want 1 (pass)", s.ToHost)
+	}
+	if len(s.Dump) != 31+16 {
+		t.Fatalf("dump has %d entries, want 47", len(s.Dump))
+	}
+	for r := 1; r < 32; r++ {
+		if s.Dump[r-1] != s.Regs[r] && r != 31 {
+			t.Errorf("dump[%d] = %#x, want x%d = %#x", r-1, s.Dump[r-1], r, s.Regs[r])
+		}
+	}
+	if s.Dump[4] != 42 || s.Dump[5] != 0x123 {
+		t.Errorf("dumped x5/x6 = %#x/%#x, want 42/0x123", s.Dump[4], s.Dump[5])
+	}
+	if s.Dump[31] != 42 {
+		t.Errorf("dumped dmem[0] = %#x, want 42", s.Dump[31])
+	}
+
+	fail := runISS(t, `
+		li x28, 3
+		j fail
+	`+SelfCheckEpilogue())
+	if fail.ToHost != 7 {
+		t.Errorf("fail verdict = %d, want (3<<1)|1 = 7", fail.ToHost)
+	}
+	if len(fail.Dump) != 0 {
+		t.Errorf("fail path must not dump, got %d entries", len(fail.Dump))
+	}
+}
+
+// TestWriteHex checks the $readmemh image format.
+func TestWriteHex(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHex(&b, []uint32{0x13, 0xDEADBEEF}); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "00000013\ndeadbeef\n" {
+		t.Errorf("hex image = %q", b.String())
+	}
+}

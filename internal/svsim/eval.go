@@ -100,6 +100,23 @@ func (p *astProc) eval(e moore.Expr) (cval, error) {
 		if err != nil {
 			return cval{}, err
 		}
+		if x.Up {
+			// x[base +: w]: dynamic base, constant width; bits past the
+			// top read as zero (Go shifts by >= 64 yield 0).
+			wamt, err := p.sc.constEval(x.Lsb)
+			if err != nil {
+				return cval{}, p.errf("indexed part select width must be constant: %v", err)
+			}
+			w := int(wamt)
+			if w <= 0 || w > base.width {
+				return cval{}, p.errf("indexed part select width %d out of range", w)
+			}
+			idx, err := p.eval(x.Msb)
+			if err != nil {
+				return cval{}, err
+			}
+			return cval{bits: mask(base.bits>>idx.bits, w), width: w}, nil
+		}
 		msb, err := p.sc.constEval(x.Msb)
 		if err != nil {
 			return cval{}, err

@@ -368,6 +368,28 @@ func (p *astProc) assign(st *moore.AssignStmt) error {
 		if !ok {
 			return p.errf("unsupported assignment target")
 		}
+		if t.Up {
+			// x[base +: w] = rhs: clear the field, or the value in.
+			wamt, err := p.sc.constEval(t.Lsb)
+			if err != nil {
+				return p.errf("indexed part select width must be constant: %v", err)
+			}
+			w := int(wamt)
+			cur, err := p.readName(id.Name)
+			if err != nil {
+				return err
+			}
+			if w <= 0 || w > cur.width {
+				return p.errf("indexed part select width %d out of range", w)
+			}
+			idx, err := p.eval(t.Msb)
+			if err != nil {
+				return err
+			}
+			m := mask(^uint64(0), w) << idx.bits
+			upd := cur.bits&^m | rhs.adapt(w)<<idx.bits
+			return p.writeWhole(id.Name, upd, st.Blocking, delay)
+		}
 		msb, err := p.sc.constEval(t.Msb)
 		if err != nil {
 			return err

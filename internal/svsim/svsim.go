@@ -189,6 +189,36 @@ func (s *Simulator) elaborate(m *moore.Module, name string, params map[string]ui
 		}
 	}
 
+	// $readmemh resolves at elaboration, exactly as in the moore/LLHD
+	// flow: the image becomes the array's initial contents and the
+	// runtime call stays a no-op.
+	for _, item := range m.Items {
+		ab, ok := item.(*moore.AlwaysBlock)
+		if !ok {
+			continue
+		}
+		calls, err := moore.CollectReadmemh(ab.Body)
+		if err != nil {
+			return fmt.Errorf("svsim: %s: %w", name, err)
+		}
+		if len(calls) > 0 && ab.Kind != "initial" {
+			return fmt.Errorf("svsim: %s: $readmemh is only supported in initial blocks", name)
+		}
+		for _, call := range calls {
+			arr := sc.arrays[call.Array]
+			if arr == nil {
+				return fmt.Errorf("svsim: %s: $readmemh target %q is not an unpacked array", name, call.Array)
+			}
+			img, err := moore.LoadHexImage(call.File, arr.width, len(arr.elems.Elems))
+			if err != nil {
+				return fmt.Errorf("svsim: %s: %w", name, err)
+			}
+			for i, v := range img {
+				arr.elems.Elems[i] = val.Int(arr.width, v)
+			}
+		}
+	}
+
 	// Child instances and processes.
 	nproc := 0
 	for _, item := range m.Items {

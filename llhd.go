@@ -133,6 +133,18 @@
 // llhd-sim's exit codes (quota → 429, assertion → 422, internal → 500).
 // llhd-sim -stats-json emits the same result schema on the CLI;
 // examples/serveclient walks the client lifecycle.
+//
+// # RV32I conformance suite
+//
+// The engines are additionally validated against an oracle that shares
+// none of their code: internal/designs/sv/rv32i.sv is a full RV32I core
+// whose program loads via $readmemh, internal/riscv provides the
+// assembler that builds the images and a reference instruction-set
+// simulator, and conformance_test.go (make conformance, also in CI) runs
+// every self-checking image under testdata/rv32i/ across all four engine
+// configurations, requiring the riscv-tests tohost verdict, identical
+// traces, and an architectural state dump equal to the ISS on every leg.
+// examples/riscv walks the assemble → ISS → core flow end to end.
 package llhd
 
 import (

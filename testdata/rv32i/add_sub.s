@@ -1,0 +1,31 @@
+# add / sub including 32-bit wraparound.
+  li x28, 1
+  li x1, 100
+  li x2, 23
+  add x3, x1, x2
+  li x4, 123
+  bne x3, x4, fail
+
+  li x28, 2
+  sub x5, x2, x1            # 23 - 100 = -77
+  li x6, -77
+  bne x5, x6, fail
+
+  li x28, 3
+  li x7, 0x7FFFFFFF
+  li x8, 1
+  add x9, x7, x8            # overflow wraps to INT_MIN
+  li x10, 0x80000000
+  bne x9, x10, fail
+
+  li x28, 4
+  sub x11, x0, x8           # 0 - 1 = -1
+  li x12, -1
+  bne x11, x12, fail
+
+  li x28, 5
+  add x13, x12, x12         # -1 + -1 = -2
+  li x14, -2
+  bne x13, x14, fail
+
+  j pass

@@ -1,0 +1,35 @@
+# addi: positive, negative, zero immediates; x0 is hard zero.
+  li x28, 1
+  li x1, 5
+  addi x2, x1, 7
+  li x3, 12
+  bne x2, x3, fail
+
+  li x28, 2
+  addi x4, x1, -13          # 5 - 13 = -8
+  li x5, -8
+  bne x4, x5, fail
+
+  li x28, 3
+  addi x6, x4, 0            # identity
+  bne x6, x4, fail
+
+  li x28, 4
+  addi x0, x1, 100          # writes to x0 are discarded
+  bne x0, x0, fail
+  li x7, 0
+  bne x7, x0, fail
+
+  li x28, 5
+  li x8, 2047
+  addi x9, x8, 2047         # max immediate twice
+  li x10, 4094
+  bne x9, x10, fail
+
+  li x28, 6
+  li x11, -2048
+  addi x12, x11, -2048      # min immediate twice
+  li x13, -4096
+  bne x12, x13, fail
+
+  j pass

@@ -1,0 +1,38 @@
+# andi / ori / xori / slti / sltiu with sign-extended immediates.
+  li x28, 1
+  li x1, 0x0F0F
+  andi x2, x1, 0xFF         # 0x0F
+  li x3, 0x0F
+  bne x2, x3, fail
+
+  li x28, 2
+  andi x4, x1, -16          # imm sign-extends to 0xFFFFFFF0
+  li x5, 0x0F00
+  bne x4, x5, fail
+
+  li x28, 3
+  ori x6, x1, 0xF0          # 0x0FFF
+  li x7, 0x0FFF
+  bne x6, x7, fail
+
+  li x28, 4
+  xori x8, x1, -1           # bitwise not -> 0xFFFFF0F0
+  li x9, 0xFFFFF0F0
+  bne x8, x9, fail
+
+  li x28, 5
+  li x10, -5
+  slti x11, x10, -4         # -5 < -4 signed -> 1
+  li x12, 1
+  bne x11, x12, fail
+  slti x13, x10, -5         # equal -> 0
+  bne x13, x0, fail
+
+  li x28, 6
+  sltiu x14, x10, -1        # 0xFFFFFFFB < 0xFFFFFFFF unsigned -> 1
+  bne x14, x12, fail
+  li x15, 3
+  sltiu x16, x15, 2         # 3 < 2 -> 0
+  bne x16, x0, fail
+
+  j pass

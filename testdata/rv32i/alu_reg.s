@@ -1,0 +1,38 @@
+# and / or / xor / slt / sltu register forms.
+  li x28, 1
+  li x1, 0xFF00FF00
+  li x2, 0x0FF00FF0
+  and x3, x1, x2
+  li x4, 0x0F000F00
+  bne x3, x4, fail
+
+  li x28, 2
+  or x5, x1, x2
+  li x6, 0xFFF0FFF0
+  bne x5, x6, fail
+
+  li x28, 3
+  xor x7, x1, x2
+  li x8, 0xF0F0F0F0
+  bne x7, x8, fail
+
+  li x28, 4
+  li x9, -3
+  li x10, 2
+  slt x11, x9, x10          # signed: -3 < 2 -> 1
+  li x12, 1
+  bne x11, x12, fail
+  slt x13, x10, x9
+  bne x13, x0, fail
+
+  li x28, 5
+  sltu x14, x9, x10         # unsigned: 0xFFFFFFFD < 2 -> 0
+  bne x14, x0, fail
+  sltu x15, x10, x9
+  bne x15, x12, fail
+
+  li x28, 6
+  sltu x16, x0, x10         # sltu x, x0, rs is the != 0 idiom
+  bne x16, x12, fail
+
+  j pass

@@ -1,0 +1,30 @@
+# beq / bne: taken and not-taken on both sides.
+  li x28, 1
+  li x1, 5
+  li x2, 5
+  bne x1, x2, fail          # equal: bne not taken
+  beq x1, x2, ok1           # equal: beq taken
+  j fail
+ok1:
+
+  li x28, 2
+  li x3, -7
+  beq x1, x3, fail          # unequal: beq not taken
+  bne x1, x3, ok2           # unequal: bne taken
+  j fail
+ok2:
+
+  li x28, 3
+  beq x0, x0, ok3           # x0 == x0 always
+  j fail
+ok3:
+  bne x0, x0, fail
+
+  li x28, 4
+  li x4, 0x80000000
+  li x5, 0x80000000
+  beq x4, x5, ok4           # equality is full 32-bit
+  j fail
+ok4:
+
+  j pass

@@ -1,0 +1,31 @@
+# blt / bge: signed comparison edges.
+  li x28, 1
+  li x1, -1
+  li x2, 1
+  bge x1, x2, fail          # -1 >= 1 signed: false
+  blt x1, x2, ok1
+  j fail
+ok1:
+
+  li x28, 2
+  blt x2, x1, fail          # 1 < -1 signed: false
+  bge x2, x1, ok2
+  j fail
+ok2:
+
+  li x28, 3
+  li x3, 7
+  blt x3, x3, fail          # equal: blt false
+  bge x3, x3, ok3           # equal: bge true
+  j fail
+ok3:
+
+  li x28, 4
+  li x4, 0x80000000         # INT_MIN
+  li x5, 0x7FFFFFFF         # INT_MAX
+  bge x4, x5, fail          # INT_MIN < INT_MAX signed
+  blt x4, x5, ok4
+  j fail
+ok4:
+
+  j pass

@@ -1,0 +1,30 @@
+# bltu / bgeu: unsigned comparison edges (-1 is the largest value).
+  li x28, 1
+  li x1, -1                 # 0xFFFFFFFF
+  li x2, 1
+  bltu x1, x2, fail         # 0xFFFFFFFF < 1 unsigned: false
+  bgeu x1, x2, ok1
+  j fail
+ok1:
+
+  li x28, 2
+  bgeu x2, x1, fail
+  bltu x2, x1, ok2
+  j fail
+ok2:
+
+  li x28, 3
+  bltu x0, x0, fail         # equal: bltu false
+  bgeu x0, x0, ok3          # equal: bgeu true
+  j fail
+ok3:
+
+  li x28, 4
+  li x3, 0x80000000
+  li x4, 0x7FFFFFFF
+  bltu x3, x4, fail         # unsigned: 0x80000000 > 0x7FFFFFFF
+  bgeu x3, x4, ok4
+  j fail
+ok4:
+
+  j pass

@@ -1,0 +1,15 @@
+# Negative control: test 2 is deliberately wrong, so every engine and
+# the ISS must report tohost = (2 << 1) | 1 = 5. The conformance runner
+# asserts exactly that.
+  li x28, 1
+  li x1, 2
+  addi x2, x1, 2
+  li x3, 4
+  bne x2, x3, fail
+
+  li x28, 2
+  addi x4, x1, 2            # 4 again...
+  li x5, 5                  # ...but checked against 5
+  bne x4, x5, fail
+
+  j pass

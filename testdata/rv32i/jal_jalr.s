@@ -1,0 +1,40 @@
+# jal/jalr: link registers, forward and backward jumps, lsb clearing.
+  li x28, 1
+  li x2, 0
+  jal x1, sub1              # call
+  addi x2, x2, 1            # runs after the return
+  j check1
+sub1:
+  addi x2, x2, 16
+  jalr x0, 0(x1)            # return
+check1:
+  li x3, 17
+  bne x2, x3, fail
+
+  li x28, 2
+  jal x4, fwd               # link even when jumping forward over code
+  j fail                    # must be skipped
+fwd:
+  auipc x5, 0               # x5 = address of this instruction
+  sub x6, x5, x4            # fwd - link = one skipped word
+  li x7, 4
+  bne x6, x7, fail
+
+  li x28, 3
+  auipc x8, 0               # A
+  addi x8, x8, 17           # odd target A+17; jalr must clear bit 0
+  jalr x9, 0(x8)            # jumps to A+16, links A+12
+  j fail                    # A+12: skipped
+  sub x10, x9, x8           # A+16: (A+12) - (A+17) = -5
+  li x11, -5
+  bne x10, x11, fail
+
+  li x28, 4
+  li x13, 0
+back:
+  addi x13, x13, 1
+  li x14, 3
+  bne x13, x14, back        # backward branch loop
+  bne x13, x14, fail
+
+  j pass

@@ -1,0 +1,55 @@
+# sb / sh / lb / lh / lbu / lhu, including word-boundary truncation for
+# a halfword at byte offset 3.
+  li x28, 1
+  li x1, 0x12345678
+  sw x1, 0(x0)
+  li x2, 0xAB
+  sb x2, 1(x0)              # patch byte 1
+  lw x3, 0(x0)
+  li x4, 0x1234AB78
+  bne x3, x4, fail
+
+  li x28, 2
+  lb x5, 1(x0)              # 0xAB sign-extends
+  li x6, -85
+  bne x5, x6, fail
+
+  li x28, 3
+  lbu x7, 1(x0)             # 0xAB zero-extends
+  li x8, 0xAB
+  bne x7, x8, fail
+
+  li x28, 4
+  li x9, 0xBEEF
+  sh x9, 2(x0)              # patch the upper halfword
+  lw x10, 0(x0)
+  li x11, 0xBEEFAB78
+  bne x10, x11, fail
+
+  li x28, 5
+  lh x12, 2(x0)             # 0xBEEF sign-extends
+  li x13, 0xFFFFBEEF
+  bne x12, x13, fail
+  lhu x14, 2(x0)            # and zero-extends
+  li x15, 0xBEEF
+  bne x14, x15, fail
+
+  li x28, 6
+  sw x0, 8(x0)
+  li x16, 0xCAFE
+  sh x16, 11(x0)            # offset 3: only the top byte fits the word
+  lw x17, 8(x0)
+  li x18, 0xFE000000
+  bne x17, x18, fail
+
+  li x28, 7
+  lh x19, 11(x0)            # offset 3 halfword: top byte, zero-padded
+  li x20, 0xFE
+  bne x19, x20, fail
+
+  li x28, 8
+  lb x21, 11(x0)            # 0xFE sign-extends to -2
+  li x22, -2
+  bne x21, x22, fail
+
+  j pass

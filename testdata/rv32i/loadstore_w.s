@@ -1,0 +1,35 @@
+# sw / lw word round-trips; word accesses ignore addr[1:0].
+  li x28, 1
+  li x1, 0x12345678
+  sw x1, 0(x0)
+  lw x2, 0(x0)
+  bne x2, x1, fail
+
+  li x28, 2
+  li x3, 8
+  sw x1, 4(x3)              # base+offset addressing -> word 3
+  lw x4, 12(x0)
+  bne x4, x1, fail
+
+  li x28, 3
+  lw x5, 14(x0)             # misaligned lw reads the containing word
+  bne x5, x1, fail
+
+  li x28, 4
+  li x6, -1
+  sw x6, 60(x0)
+  lw x7, 60(x0)
+  bne x7, x6, fail
+
+  li x28, 5
+  li x8, 0xCAFEBABE
+  sw x8, 63(x0)             # misaligned sw writes the containing word
+  lw x9, 60(x0)
+  bne x9, x8, fail
+
+  li x28, 6
+  sw x0, 60(x0)             # clean up the high word again
+  lw x10, 60(x0)
+  bne x10, x0, fail
+
+  j pass

@@ -1,0 +1,31 @@
+# lui places the 20-bit immediate in the upper bits; auipc is pc-relative.
+  li x28, 1
+  lui x1, 0xDEADB
+  li x2, 0xDEADB000
+  bne x1, x2, fail
+
+  li x28, 2
+  lui x3, 1
+  li x4, 4096
+  bne x3, x4, fail
+
+  li x28, 3
+  auipc x5, 0               # x5 = pc here
+  auipc x6, 0               # x6 = x5 + 4
+  sub x7, x6, x5
+  li x8, 4
+  bne x7, x8, fail
+
+  li x28, 4
+  auipc x9, 1               # x9 = pc + 4096
+  auipc x10, 0              # x10 = pc + 4
+  sub x11, x9, x10          # 4096 - 4
+  li x12, 4092
+  bne x11, x12, fail
+
+  li x28, 5
+  lui x13, 0xFFFFF          # top immediate value
+  li x14, 0xFFFFF000
+  bne x13, x14, fail
+
+  j pass

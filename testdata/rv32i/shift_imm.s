@@ -1,0 +1,35 @@
+# slli / srli / srai: logical vs arithmetic, edge shift amounts.
+  li x28, 1
+  li x1, 1
+  slli x2, x1, 31
+  li x3, 0x80000000
+  bne x2, x3, fail
+
+  li x28, 2
+  srli x4, x2, 31           # logical: bring the sign bit down
+  bne x4, x1, fail
+
+  li x28, 3
+  srai x5, x2, 31           # arithmetic: smear the sign bit
+  li x6, -1
+  bne x5, x6, fail
+
+  li x28, 4
+  li x7, -64
+  srai x8, x7, 3            # -64 >> 3 = -8
+  li x9, -8
+  bne x8, x9, fail
+
+  li x28, 5
+  srli x10, x7, 3           # 0xFFFFFFC0 >>l 3 = 0x1FFFFFF8
+  li x11, 0x1FFFFFF8
+  bne x10, x11, fail
+
+  li x28, 6
+  li x12, 0x1234
+  slli x13, x12, 0          # zero shift is identity
+  bne x13, x12, fail
+  srai x14, x12, 0
+  bne x14, x12, fail
+
+  j pass

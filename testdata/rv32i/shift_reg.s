@@ -1,0 +1,33 @@
+# sll / srl / sra, including shift-amount masking to 5 bits.
+  li x28, 1
+  li x1, 1
+  li x2, 4
+  sll x3, x1, x2
+  li x4, 16
+  bne x3, x4, fail
+
+  li x28, 2
+  li x5, 33                 # masks to 1
+  sll x6, x1, x5
+  li x7, 2
+  bne x6, x7, fail
+
+  li x28, 3
+  li x8, 0x80000000
+  srl x9, x8, x5            # >> (33 & 31) = >> 1
+  li x10, 0x40000000
+  bne x9, x10, fail
+
+  li x28, 4
+  sra x11, x8, x5           # arithmetic >> 1
+  li x12, 0xC0000000
+  bne x11, x12, fail
+
+  li x28, 5
+  li x13, 0x20              # masks to 0: identity
+  sra x14, x8, x13
+  bne x14, x8, fail
+  sll x15, x8, x13
+  bne x15, x8, fail
+
+  j pass
