@@ -38,11 +38,15 @@ test-timeout:
 # bounded design count, so it is deterministic and time-boxed. Each design
 # runs six legs — {interp, blaze-bytecode, blaze-closure} × {unlowered,
 # lowered} — so the bytecode tier is fuzzed against both the interpreter
-# and the closure tier on every seed. Failing designs are shrunk into
-# fuzz-failures/ (uploaded as a CI artifact) and fail the target. The full
-# acceptance run is -n 1000.
+# and the closure tier on every seed. The second leg fuzzes the pass
+# pipeline itself: per seed a random pass ordering, checked after every
+# pass application, so any divergence is bisected to the first divergent
+# pass (named in the repro header and on the report line). Failing designs
+# are shrunk into fuzz-failures/ (uploaded as a CI artifact) and fail the
+# target. The full acceptance run is -n 1000 for both legs.
 fuzz-smoke:
 	$(GO) run ./cmd/llhd-fuzz -seed 1 -n 200 -corpus fuzz-failures
+	$(GO) run ./cmd/llhd-fuzz -pipeline -seed 1 -n 100 -corpus fuzz-failures
 
 # conformance runs the RV32I conformance suite explicitly and verbosely:
 # every image under testdata/rv32i assembled, executed on the reference

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	llhd-fuzz [-seed S] [-n N] [-budget B] [-corpus DIR] [-v]
+//	llhd-fuzz [-pipeline] [-seed S] [-n N] [-budget B] [-corpus DIR] [-v]
 //
 // Design i of a run uses generation seed S+i, so any finding reproduces
 // with llhd-fuzz -seed <that seed> -n 1. Output for a fixed flag set is
@@ -14,6 +14,15 @@
 // Failing repros are written to DIR (created on demand) as
 // fuzz_seed<seed>.llhd with the failure reason in a comment header; the
 // exit status is 1 when any design failed.
+//
+// With -pipeline, each seed additionally draws a random sequence of §4
+// passes from the pass registry and the oracle runs after every pass
+// application, so a divergence is bisected to the first pass that
+// introduced it. Failures print a "seed S: pipeline: a,b,c" line — the
+// shortest failing prefix, whose last pass is the first divergent one —
+// that replays verbatim via llhd-opt -passes a,b,c on the repro; repros
+// (fuzz_pipe_seed<seed>.llhd) embed the same line as a "; pipeline:"
+// header directive, so the corpus replayer applies the right passes.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"llhd/internal/fuzz"
 )
@@ -30,13 +40,23 @@ func main() {
 	n := flag.Int("n", 100, "number of designs to generate and check")
 	budget := flag.Int("budget", 0, "approximate instruction budget per design (0: default)")
 	corpus := flag.String("corpus", "fuzz-failures", "directory for shrunk failing repros")
+	pipeline := flag.Bool("pipeline", false, "fuzz random pass pipelines, bisecting divergences to the first divergent pass")
 	verbose := flag.Bool("v", false, "report every seed, not just failures")
 	flag.Parse()
 
+	mode := ""
+	if *pipeline {
+		mode = "pipeline "
+	}
 	failures := 0
 	for i := 0; i < *n; i++ {
 		s := *seed + int64(i)
-		f := fuzz.CheckGenerated(s, *budget, fuzz.Options{})
+		var f *fuzz.Failure
+		if *pipeline {
+			f = fuzz.CheckGeneratedPipeline(s, *budget, fuzz.Options{})
+		} else {
+			f = fuzz.CheckGenerated(s, *budget, fuzz.Options{})
+		}
 		if f == nil {
 			if *verbose {
 				fmt.Printf("seed %d: ok\n", s)
@@ -45,19 +65,28 @@ func main() {
 		}
 		failures++
 		fmt.Printf("seed %d: FAIL: %s\n", s, firstLine(f.Reason))
-		reduced, rf := fuzz.Shrink(fmt.Sprintf("fuzz_seed%d", s), f.Text, fuzz.Options{})
+		shrinkOpt := fuzz.Options{}
+		directive := ""
+		if len(f.Pipeline) > 0 {
+			// The one-line replay contract: this exact comma list feeds
+			// llhd-opt -passes and the repro's "; pipeline:" directive.
+			fmt.Printf("seed %d: pipeline: %s\n", s, strings.Join(f.Pipeline, ","))
+			shrinkOpt.Lower = fuzz.PipelineLower(f.Pipeline)
+			directive = fuzz.PipelineDirectiveLine(f.Pipeline)
+		}
+		reduced, rf := fuzz.Shrink(reproName(s, *pipeline), f.Text, shrinkOpt)
 		reason := f.Reason
 		if rf != nil {
 			reason = rf.Reason
 		}
-		if err := writeRepro(*corpus, s, reason, reduced); err != nil {
+		if err := writeRepro(*corpus, s, *pipeline, reason, directive, reduced); err != nil {
 			fmt.Fprintf(os.Stderr, "llhd-fuzz: %v\n", err)
 		} else {
 			fmt.Printf("seed %d: repro (%d instructions) written to %s\n",
-				s, fuzz.NumInstsOf("repro", reduced), reproPath(*corpus, s))
+				s, fuzz.NumInstsOf("repro", reduced), reproPath(*corpus, s, *pipeline))
 		}
 	}
-	fmt.Printf("llhd-fuzz: seed=%d n=%d budget=%d failures=%d\n", *seed, *n, *budget, failures)
+	fmt.Printf("llhd-fuzz: %sseed=%d n=%d budget=%d failures=%d\n", mode, *seed, *n, *budget, failures)
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -72,13 +101,21 @@ func firstLine(s string) string {
 	return s
 }
 
-func reproPath(dir string, seed int64) string {
-	return filepath.Join(dir, fmt.Sprintf("fuzz_seed%d.llhd", seed))
+func reproName(seed int64, pipeline bool) string {
+	if pipeline {
+		return fmt.Sprintf("fuzz_pipe_seed%d", seed)
+	}
+	return fmt.Sprintf("fuzz_seed%d", seed)
 }
 
-func writeRepro(dir string, seed int64, reason, text string) error {
+func reproPath(dir string, seed int64, pipeline bool) string {
+	return filepath.Join(dir, reproName(seed, pipeline)+".llhd")
+}
+
+func writeRepro(dir string, seed int64, pipeline bool, reason, directive, text string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(reproPath(dir, seed), []byte(fuzz.ReproHeader(reason)+text), 0o644)
+	body := fuzz.ReproHeader(reason) + directive + text
+	return os.WriteFile(reproPath(dir, seed, pipeline), []byte(body), 0o644)
 }

@@ -1,10 +1,12 @@
 // Command llhd-opt runs LLHD transformation passes on a module, mirroring
 // LLVM's opt. By default it runs the full behavioural-to-structural
-// lowering pipeline (§4 of the paper).
+// lowering pipeline (§4 of the paper); -passes replays an explicit pass
+// list from the pass registry — including the pipeline line printed by a
+// llhd-fuzz -pipeline failure report, verbatim.
 //
 // Usage:
 //
-//	llhd-opt [-passes cf,dce,...] [-print-pipeline] [-verify level] design.llhd
+//	llhd-opt [-passes cf,dce,...] [-verify-each] [-print-pipeline] [-verify level] design.llhd
 package main
 
 import (
@@ -19,25 +21,23 @@ import (
 	"llhd/internal/pass"
 )
 
-var passByName = map[string]func() pass.Pass{
-	"inline":            pass.Inline,
-	"mem2reg":           pass.Mem2Reg,
-	"cf":                pass.ConstantFold,
-	"is":                pass.InstSimplify,
-	"cse":               pass.CSE,
-	"dce":               pass.DCE,
-	"ecm":               pass.ECM,
-	"tcm":               pass.TCM,
-	"tcfe":              pass.TCFE,
-	"pl":                pass.ProcessLowering,
-	"deseq":             pass.Desequentialize,
-	"inline-entities":   pass.InlineEntities,
-	"signal-forwarding": pass.SignalForwarding,
+// parsePasses builds a pipeline from a comma-separated pass list through
+// the pass registry; spellings are the registry's canonical names and
+// aliases, and an unknown name errors with the full legal list.
+func parsePasses(list string) (*pass.Pipeline, error) {
+	var names []string
+	for _, pn := range strings.Split(list, ",") {
+		if pn = strings.TrimSpace(pn); pn != "" {
+			names = append(names, pn)
+		}
+	}
+	return pass.FromNames(names)
 }
 
 func main() {
 	passList := flag.String("passes", "", "comma-separated pass list (default: full lowering pipeline)")
 	printPipeline := flag.Bool("print-pipeline", false, "print the default pipeline and exit")
+	verifyEach := flag.Bool("verify-each", false, "run ir.Verify after every pass, naming the offending pass on failure")
 	verify := flag.String("verify", "", "verify the result at a level: behavioural, structural, netlist")
 	flag.Parse()
 
@@ -46,7 +46,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: llhd-opt [-passes list] [-verify level] design.llhd")
+		fmt.Fprintln(os.Stderr, "usage: llhd-opt [-passes list] [-verify-each] [-verify level] design.llhd")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -61,18 +61,17 @@ func main() {
 	}
 
 	if *passList == "" {
-		if err := llhd.Lower(m); err != nil {
+		pipeline := pass.LoweringPipeline()
+		pipeline.VerifyEach = *verifyEach
+		if err := pipeline.RunFixpoint(m, 8); err != nil {
 			fatal(err)
 		}
 	} else {
-		var pipeline pass.Pipeline
-		for _, pn := range strings.Split(*passList, ",") {
-			ctor, ok := passByName[strings.TrimSpace(pn)]
-			if !ok {
-				fatal(fmt.Errorf("unknown pass %q", pn))
-			}
-			pipeline.Passes = append(pipeline.Passes, ctor())
+		pipeline, err := parsePasses(*passList)
+		if err != nil {
+			fatal(err)
 		}
+		pipeline.VerifyEach = *verifyEach
 		if _, err := pipeline.Run(m); err != nil {
 			fatal(err)
 		}

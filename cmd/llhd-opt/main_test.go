@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"llhd/internal/fuzz"
+	"llhd/internal/pass"
+)
+
+// TestParsePassesRegistryRoundTrip pins that every spelling the registry
+// accepts — canonical names and aliases — parses through -passes, and
+// that the built pipeline carries the canonical passes.
+func TestParsePassesRegistryRoundTrip(t *testing.T) {
+	for _, info := range pass.Registry() {
+		for _, spelling := range append([]string{info.Name}, info.Aliases...) {
+			pl, err := parsePasses(spelling)
+			if err != nil {
+				t.Fatalf("-passes %s: %v", spelling, err)
+			}
+			if got := pl.Passes[0].Name(); got != info.Name {
+				t.Errorf("-passes %s built %q, want %q", spelling, got, info.Name)
+			}
+		}
+	}
+	names := pass.Names()
+	pl, err := parsePasses(strings.Join(names, ","))
+	if err != nil {
+		t.Fatalf("-passes over the full registry: %v", err)
+	}
+	if got := strings.Join(pl.Names(), ","); got != strings.Join(names, ",") {
+		t.Errorf("full registry round trip: got %s", got)
+	}
+	// Whitespace around commas is tolerated (hand-edited pass lists).
+	if _, err := parsePasses(" dce , cse "); err != nil {
+		t.Errorf("-passes with spaces: %v", err)
+	}
+}
+
+// TestParsePassesUnknownListsLegal pins the unknown-name contract: the
+// error names the bad pass and lists every legal spelling.
+func TestParsePassesUnknownListsLegal(t *testing.T) {
+	_, err := parsePasses("dce,bogus")
+	if err == nil {
+		t.Fatal("expected error for unknown pass")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error %q does not name the unknown pass", msg)
+	}
+	for _, legal := range pass.LegalNames() {
+		if !strings.Contains(msg, legal) {
+			t.Errorf("error %q does not list legal name %q", msg, legal)
+		}
+	}
+}
+
+// TestFuzzReportLineReplaysVerbatim pins the replay contract between the
+// fuzzer and llhd-opt: the comma list printed on a llhd-fuzz -pipeline
+// failure line ("seed S: pipeline: a,b,c") feeds -passes verbatim and
+// rebuilds exactly the pipeline the fuzzer ran.
+func TestFuzzReportLineReplaysVerbatim(t *testing.T) {
+	for seed := int64(1); seed <= 32; seed++ {
+		names := fuzz.PipelineOf(seed)
+		// Format exactly as cmd/llhd-fuzz prints it, then cut the flag
+		// value back out the way a user copy-pasting the report would.
+		line := "seed 5: pipeline: " + strings.Join(names, ",")
+		_, value, ok := strings.Cut(line, "pipeline: ")
+		if !ok {
+			t.Fatal("report line lost its pipeline marker")
+		}
+		pl, err := parsePasses(value)
+		if err != nil {
+			t.Fatalf("seed %d: replaying report line %q: %v", seed, value, err)
+		}
+		if got := strings.Join(pl.Names(), ","); got != strings.Join(names, ",") {
+			t.Errorf("seed %d: replayed %s, want %s", seed, got, strings.Join(names, ","))
+		}
+	}
+}

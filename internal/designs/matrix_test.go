@@ -7,13 +7,16 @@ import (
 	"llhd"
 	"llhd/internal/designs"
 	"llhd/internal/ir"
+	"llhd/internal/pass"
 	"llhd/internal/simtest"
 )
 
 // TestLowerProducesValidIR pins the §4 pipeline on the full benchmark
 // suite: lowering any Table 2 design must yield IR that passes the
 // verifier — including the phi-placement and phi-edge-dominance rules the
-// execution engines rely on.
+// execution engines rely on. It runs the pipeline with VerifyEach on, so
+// an invariant break anywhere inside the fixpoint is attributed to the
+// pass that introduced it rather than surfacing as a post-hoc failure.
 func TestLowerProducesValidIR(t *testing.T) {
 	for _, d := range designs.All() {
 		t.Run(d.Name, func(t *testing.T) {
@@ -21,7 +24,9 @@ func TestLowerProducesValidIR(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Compile: %v", err)
 			}
-			if err := llhd.Lower(m); err != nil {
+			pipeline := pass.LoweringPipeline()
+			pipeline.VerifyEach = true
+			if err := pipeline.RunFixpoint(m, 8); err != nil {
 				t.Fatalf("Lower: %v", err)
 			}
 			if err := ir.Verify(m, ir.Behavioural); err != nil {
@@ -109,6 +114,35 @@ func TestFarmDifferentialMatrix(t *testing.T) {
 			simtest.CompareTraces(t, simtest.Strings(obs[4]), simtest.Strings(obs[5]))
 			if !unlowered.Frozen() || !lowered.Frozen() {
 				t.Error("farm must have frozen both shared modules")
+			}
+		})
+	}
+}
+
+// TestCompileDeterministic pins frontend determinism: compiling the same
+// source repeatedly must print byte-identical assembly. The riscv design
+// used to flake here — its %rf and %imem array vars were emitted in map
+// iteration order — which broke the fuzzer's mk-determinism oracle and
+// would give the content-addressed design cache distinct keys for the
+// same source. Fifty recompiles caught that reliably before the fix
+// (sorted map iteration in the process generator).
+func TestCompileDeterministic(t *testing.T) {
+	for _, d := range designs.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			m, err := llhd.CompileSystemVerilog(d.Name, d.Source)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			ref := llhd.AssemblyString(m)
+			for i := 0; i < 50; i++ {
+				m2, err := llhd.CompileSystemVerilog(d.Name, d.Source)
+				if err != nil {
+					t.Fatalf("recompile %d: %v", i, err)
+				}
+				if got := llhd.AssemblyString(m2); got != ref {
+					t.Fatalf("recompile %d printed differently than the first compile", i)
+				}
 			}
 		})
 	}

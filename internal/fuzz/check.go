@@ -23,6 +23,11 @@ type Options struct {
 	// Tests inject deliberately broken pipelines here to exercise the
 	// oracle and the shrinker.
 	Lower func(*llhd.Module) error
+	// PipelineLower builds, in pipeline mode, the lowering function that
+	// replays a pipeline prefix; nil means PipelineLower (pass-registry
+	// replay with verify-each). Tests inject broken replays here to pin
+	// the bisector's first-divergent-pass attribution.
+	PipelineLower func(prefix []string) func(*llhd.Module) error
 }
 
 func (o Options) stepLimit() int {
@@ -51,6 +56,10 @@ type Failure struct {
 	// (engine.KindName — "step-limit", "panic", ...), oracle clause
 	// violations their clause slug ("trace-divergence", "verify", ...).
 	Class string
+	// Pipeline is the failing pass prefix in pipeline mode: the shortest
+	// prefix of the seed's pipeline that diverges, so its last entry is
+	// the first divergent pass. Empty in plain (fixed-lowering) mode.
+	Pipeline []string
 }
 
 func (f *Failure) Error() string { return f.Reason }
@@ -434,8 +443,16 @@ func CheckGenerated(seed int64, budget int, opt Options) *Failure {
 }
 
 // CheckText parses assembly text and runs the differential oracle — the
-// corpus replay and shrinker entry point.
+// corpus replay and shrinker entry point. A "; pipeline: a,b,c" header
+// directive (written into pipeline-mode repros) selects that pass replay
+// as the lowering under test, so pipeline findings replay from the corpus
+// with no external configuration; an explicit opt.Lower wins.
 func CheckText(name, text string, opt Options) *Failure {
+	if opt.Lower == nil {
+		if names := PipelineDirective(text); len(names) > 0 {
+			opt.Lower = PipelineLower(names)
+		}
+	}
 	mk := func() (*ir.Module, error) { return assembly.Parse(name, text) }
 	return CheckModule(mk, "", opt)
 }

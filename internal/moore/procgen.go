@@ -2,10 +2,24 @@ package moore
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"llhd/internal/ir"
 )
+
+// sortedNames returns the keys of a string-keyed map in sorted order, so
+// that IR emission driven by map iteration is deterministic (compiling the
+// same source twice must print identically — the design cache and the
+// fuzzer's mk-determinism oracle both key on the printed form).
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // cv is a typed expression value during codegen.
 type cv struct {
@@ -90,7 +104,7 @@ func (c *compiler) genProcess(item Item, pname string, sc *scope, ownedArrays ma
 	g.b.SetBlock(g.entry)
 
 	// Materialize owned arrays as persistent vars.
-	for name := range ownedArrays {
+	for _, name := range sortedNames(ownedArrays) {
 		ni := sc.nets[name]
 		elem := ir.IntType(ni.width)
 		var elems []ir.Value
@@ -155,7 +169,7 @@ func (c *compiler) genProcess(item Item, pname string, sc *scope, ownedArrays ma
 // declareShadows creates shadow vars for blocking-assigned nets.
 func (g *procGen) declareShadows() {
 	g.b.SetBlock(g.entry)
-	for n := range g.blocking {
+	for _, n := range sortedNames(g.blocking) {
 		ni := g.sc.nets[n]
 		zero := g.b.ConstInt(ir.IntType(ni.width), 0)
 		v := g.b.Var(zero)
@@ -167,9 +181,9 @@ func (g *procGen) declareShadows() {
 // loadShadowsFromNets refreshes every shadow with the net's current value
 // at the start of an activation.
 func (g *procGen) loadShadowsFromNets() {
-	for n, sh := range g.shadows {
+	for _, n := range sortedNames(g.shadows) {
 		cur := g.b.Prb(g.args[n])
-		g.b.St(sh, cur)
+		g.b.St(g.shadows[n], cur)
 	}
 }
 
@@ -179,8 +193,8 @@ func (g *procGen) driveShadows() {
 		return
 	}
 	dz := g.b.ConstTime(ir.Time{})
-	for n, sh := range g.shadows {
-		v := g.b.Ld(sh)
+	for _, n := range sortedNames(g.shadows) {
+		v := g.b.Ld(g.shadows[n])
 		g.b.Drv(g.args[n], v, dz, nil)
 	}
 }

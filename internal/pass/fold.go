@@ -16,85 +16,93 @@ func foldUnit(u *ir.Unit) (bool, error) {
 	changed := false
 	// Known constant values per defining instruction.
 	known := map[ir.Value]val.Value{}
+	// Outer loop: folding a branch prunes phi edges, and a single-entry phi
+	// collapses to its (possibly constant) operand — which can make further
+	// pure instructions foldable. Re-run the fold fixpoint until the branch
+	// stage finds nothing, so one run reaches the state a repeated run would.
 	for {
-		roundChanged := false
-		u.ForEachInst(func(_ *ir.Block, in *ir.Inst) {
-			if _, have := known[in]; have {
-				return
-			}
-			switch in.Op {
-			case ir.OpConstInt:
-				known[in] = val.Int(in.Ty.BitWidth(), in.IVal)
-				return
-			case ir.OpConstTime:
-				known[in] = val.TimeVal(in.TVal)
-				return
-			case ir.OpConstLogic:
-				known[in] = val.LogicVal(in.LVal.Clone())
-				return
-			}
-			if !in.Op.IsPure() {
-				return
-			}
-			v, err := engine.EvalPure(in, func(x ir.Value) (val.Value, bool) {
-				k, ok := known[x]
-				return k, ok
-			})
-			if err != nil {
-				return
-			}
-			// Rewrite the instruction in place into a constant.
-			switch v.Kind {
-			case val.KindInt:
-				if !in.Ty.IsInt() && !in.Ty.IsEnum() {
+		branchChanged := false
+		for {
+			roundChanged := false
+			u.ForEachInst(func(_ *ir.Block, in *ir.Inst) {
+				if _, have := known[in]; have {
 					return
 				}
-				in.Op = ir.OpConstInt
-				in.IVal = v.Bits
-				in.Args = nil
-				in.Dests = nil
-				known[in] = v
-				roundChanged = true
-			case val.KindTime:
-				in.Op = ir.OpConstTime
-				in.TVal = v.T
-				in.Args = nil
-				in.Dests = nil
-				known[in] = v
-				roundChanged = true
-			default:
-				// Aggregates stay as literal instructions, but record the
-				// value so consumers (mux, extf) can fold through them.
-				known[in] = v
+				switch in.Op {
+				case ir.OpConstInt:
+					known[in] = val.Int(in.Ty.BitWidth(), in.IVal)
+					return
+				case ir.OpConstTime:
+					known[in] = val.TimeVal(in.TVal)
+					return
+				case ir.OpConstLogic:
+					known[in] = val.LogicVal(in.LVal.Clone())
+					return
+				}
+				if !in.Op.IsPure() {
+					return
+				}
+				v, err := engine.EvalPure(in, func(x ir.Value) (val.Value, bool) {
+					k, ok := known[x]
+					return k, ok
+				})
+				if err != nil {
+					return
+				}
+				// Rewrite the instruction in place into a constant.
+				switch v.Kind {
+				case val.KindInt:
+					if !in.Ty.IsInt() && !in.Ty.IsEnum() {
+						return
+					}
+					in.Op = ir.OpConstInt
+					in.IVal = v.Bits
+					in.Args = nil
+					in.Dests = nil
+					known[in] = v
+					roundChanged = true
+				case val.KindTime:
+					in.Op = ir.OpConstTime
+					in.TVal = v.T
+					in.Args = nil
+					in.Dests = nil
+					known[in] = v
+					roundChanged = true
+				default:
+					// Aggregates stay as literal instructions, but record the
+					// value so consumers (mux, extf) can fold through them.
+					known[in] = v
+				}
+			})
+			if !roundChanged {
+				break
 			}
-		})
-		if !roundChanged {
+			changed = true
+		}
+
+		// Fold conditional branches on constant conditions.
+		for _, b := range u.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpBr || len(t.Args) != 1 {
+				continue
+			}
+			k, ok := t.Args[0].(*ir.Inst)
+			if !ok || k.Op != ir.OpConstInt {
+				continue
+			}
+			dest := t.Dests[0]
+			if k.IVal != 0 {
+				dest = t.Dests[1]
+			}
+			t.Args = nil
+			t.Dests = []*ir.Block{dest}
+			changed = true
+			branchChanged = true
+			pruneDeadPhiEdges(u)
+		}
+		if !branchChanged {
 			break
 		}
-		changed = true
-	}
-
-	// Fold conditional branches on constant conditions.
-	for _, b := range u.Blocks {
-		t := b.Terminator()
-		if t == nil || t.Op != ir.OpBr || len(t.Args) != 1 {
-			continue
-		}
-		k, ok := t.Args[0].(*ir.Inst)
-		if !ok || k.Op != ir.OpConstInt {
-			continue
-		}
-		dest := t.Dests[0]
-		if k.IVal != 0 {
-			dest = t.Dests[1]
-		}
-		t.Args = nil
-		t.Dests = []*ir.Block{dest}
-		// Phi nodes in the abandoned destination lose this edge.
-		other := t.Dests[0]
-		_ = other
-		changed = true
-		pruneDeadPhiEdges(u)
 	}
 	return changed, nil
 }

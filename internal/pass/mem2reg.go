@@ -25,6 +25,21 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 	if len(vars) == 0 {
 		return false, nil
 	}
+	// An entry block with predecessors (a process whose wait loops back to
+	// the first block) is a join a phi cannot express: on first activation
+	// a promoted var holds its initializer, on re-entry the back edge's
+	// exit value — but the initial activation has no predecessor block to
+	// key a phi entry on. Without the split, phase 2 below would treat the
+	// entry as an ordinary single-pred block and wire the back edge's phi
+	// in as its own operand on an edge it does not dominate (found by the
+	// pipeline fuzzer: inline moves a var into a conditional block, then
+	// mem2reg on the looping entry emits the self-referential phi). A
+	// fresh entry turns the old one into an ordinary join block.
+	split := false
+	if len(u.Preds()[u.Entry()]) > 0 {
+		splitEntry(u)
+		split = true
+	}
 	// The promoted initializer becomes a phi operand on every path that
 	// never executed the var (and the entry value of the entry block), so
 	// it must be available everywhere: hoist a clone of its constant cone
@@ -33,7 +48,7 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 	// form.
 	vars, initOf := hoistInitializers(u, vars)
 	if len(vars) == 0 {
-		return false, nil
+		return split, nil
 	}
 	preds := u.Preds()
 
@@ -199,6 +214,22 @@ func mem2regUnit(u *ir.Unit) (bool, error) {
 		b.Insts = kept
 	}
 	return true, nil
+}
+
+// splitEntry prepends a fresh entry block holding a single branch to the
+// old entry, so the old entry — previously both the activation target and
+// a branch destination — becomes an ordinary join block that can carry
+// phis.
+func splitEntry(u *ir.Unit) {
+	old := u.Entry()
+	nb := u.AddBlock(old.ValueName() + ".pre")
+	b := ir.NewBuilder(u)
+	b.SetBlock(nb)
+	b.Br(old)
+	// AddBlock appends; the entry block is Blocks[0], so rotate nb to the
+	// front.
+	copy(u.Blocks[1:], u.Blocks[:len(u.Blocks)-1])
+	u.Blocks[0] = nb
 }
 
 // hoistInitializers returns, for each promotable var, an initializer

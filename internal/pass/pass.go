@@ -56,6 +56,11 @@ func (p *unitPass) Run(m *ir.Module) (bool, error) {
 // Pipeline runs passes in order; RunFixpoint repeats until stable.
 type Pipeline struct {
 	Passes []Pass
+	// VerifyEach runs ir.Verify(m, ir.Behavioural) after every pass
+	// application and fails naming the offending pass. It is a debug
+	// mode: the fuzzer and the lowering validity tests use it to
+	// attribute an invariant break to the pass that introduced it.
+	VerifyEach bool
 }
 
 // Run executes each pass once in order.
@@ -67,6 +72,11 @@ func (pl *Pipeline) Run(m *ir.Module) (bool, error) {
 			return changed, err
 		}
 		changed = changed || c
+		if pl.VerifyEach {
+			if err := ir.Verify(m, ir.Behavioural); err != nil {
+				return changed, fmt.Errorf("verify-each: after pass %q: %w", p.Name(), err)
+			}
+		}
 	}
 	return changed, nil
 }

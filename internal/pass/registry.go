@@ -1,0 +1,108 @@
+package pass
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llhd/internal/ir"
+)
+
+// Info describes one registered pass: its canonical name (always equal to
+// the Pass.Name() of the constructed pass), the accepted aliases, the unit
+// kinds it transforms (empty means all kinds), and its constructor.
+//
+// The Kinds field is the pass's legal-ordering constraint made explicit:
+// every pass in the registry is required to be a semantic no-op on units
+// outside its kinds and on shapes it does not recognise, so *any* sequence
+// of registered passes is verify-legal. That property is exactly what the
+// pipeline fuzzer (internal/fuzz, llhd-fuzz -pipeline) exercises: random
+// orderings must keep ir.Verify green after every application and preserve
+// observable behaviour against the unoptimized reference.
+//
+// TemporalRegions (tr.go) and the DNF builder (dnf.go) are analyses used
+// by tcm/tcfe/deseq, not standalone passes, so they do not appear here.
+type Info struct {
+	Name    string
+	Aliases []string
+	Kinds   []ir.UnitKind
+	New     func() Pass
+}
+
+// registry lists the §4 passes in canonical order: the basic cleanups
+// first, then the lowering passes in LoweringPipeline order, then the
+// structural cleanups of Figure 5.
+var registry = []Info{
+	{Name: "inline", Kinds: []ir.UnitKind{ir.UnitFunc, ir.UnitProc}, New: Inline},
+	{Name: "mem2reg", Kinds: []ir.UnitKind{ir.UnitFunc, ir.UnitProc}, New: Mem2Reg},
+	{Name: "constant-fold", Aliases: []string{"cf", "fold"}, New: ConstantFold},
+	{Name: "inst-simplify", Aliases: []string{"is", "simplify"}, New: InstSimplify},
+	{Name: "cse", New: CSE},
+	{Name: "dce", New: DCE},
+	{Name: "ecm", Kinds: []ir.UnitKind{ir.UnitProc, ir.UnitFunc}, New: ECM},
+	{Name: "tcm", Kinds: []ir.UnitKind{ir.UnitProc}, New: TCM},
+	{Name: "tcfe", Kinds: []ir.UnitKind{ir.UnitProc, ir.UnitFunc}, New: TCFE},
+	{Name: "process-lowering", Aliases: []string{"pl"}, Kinds: []ir.UnitKind{ir.UnitProc}, New: ProcessLowering},
+	{Name: "deseq", Kinds: []ir.UnitKind{ir.UnitProc}, New: Desequentialize},
+	{Name: "inline-entities", Aliases: []string{"flatten"}, Kinds: []ir.UnitKind{ir.UnitEntity}, New: InlineEntities},
+	{Name: "signal-forwarding", Kinds: []ir.UnitKind{ir.UnitEntity}, New: SignalForwarding},
+}
+
+// Registry returns the pass registry in canonical order. The slice is a
+// copy; callers may reorder it freely.
+func Registry() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the canonical pass names in registry order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, info := range registry {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// ByName resolves a canonical pass name or alias to its registry entry.
+func ByName(name string) (Info, bool) {
+	for _, info := range registry {
+		if info.Name == name {
+			return info, true
+		}
+		for _, a := range info.Aliases {
+			if a == name {
+				return info, true
+			}
+		}
+	}
+	return Info{}, false
+}
+
+// LegalNames returns every accepted spelling — canonical names and
+// aliases — sorted, for error messages.
+func LegalNames() []string {
+	var names []string
+	for _, info := range registry {
+		names = append(names, info.Name)
+		names = append(names, info.Aliases...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FromNames builds a Pipeline from a list of pass names or aliases. An
+// unknown name errors, listing the full legal set.
+func FromNames(names []string) (*Pipeline, error) {
+	pl := &Pipeline{Passes: make([]Pass, 0, len(names))}
+	for _, name := range names {
+		info, ok := ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q (legal: %s)",
+				name, strings.Join(LegalNames(), ", "))
+		}
+		pl.Passes = append(pl.Passes, info.New())
+	}
+	return pl, nil
+}

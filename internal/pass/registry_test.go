@@ -1,0 +1,78 @@
+package pass
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryCanonicalNames pins that every registry entry's Name matches
+// the Pass.Name() of the pass it constructs, and that no spelling
+// (canonical or alias) is claimed twice.
+func TestRegistryCanonicalNames(t *testing.T) {
+	seen := map[string]string{}
+	for _, info := range Registry() {
+		if got := info.New().Name(); got != info.Name {
+			t.Errorf("registry %q constructs pass named %q", info.Name, got)
+		}
+		for _, spelling := range append([]string{info.Name}, info.Aliases...) {
+			if prev, dup := seen[spelling]; dup {
+				t.Errorf("spelling %q claimed by both %q and %q", spelling, prev, info.Name)
+			}
+			seen[spelling] = info.Name
+		}
+	}
+}
+
+// TestRegistryCoversPipelines pins that every pass used by the built-in
+// pipelines is constructible by name from the registry.
+func TestRegistryCoversPipelines(t *testing.T) {
+	for _, pl := range []*Pipeline{BasicPipeline(), LoweringPipeline()} {
+		names := pl.Names()
+		rebuilt, err := FromNames(names)
+		if err != nil {
+			t.Fatalf("FromNames(%v): %v", names, err)
+		}
+		if got := rebuilt.Names(); strings.Join(got, ",") != strings.Join(names, ",") {
+			t.Errorf("round trip %v != %v", got, names)
+		}
+	}
+}
+
+// TestFromNamesAliases pins that aliases resolve to the canonical pass.
+func TestFromNamesAliases(t *testing.T) {
+	aliases := map[string]string{
+		"cf":       "constant-fold",
+		"fold":     "constant-fold",
+		"is":       "inst-simplify",
+		"simplify": "inst-simplify",
+		"pl":       "process-lowering",
+		"flatten":  "inline-entities",
+	}
+	for alias, want := range aliases {
+		pl, err := FromNames([]string{alias})
+		if err != nil {
+			t.Fatalf("FromNames(%q): %v", alias, err)
+		}
+		if got := pl.Passes[0].Name(); got != want {
+			t.Errorf("alias %q built %q, want %q", alias, got, want)
+		}
+	}
+}
+
+// TestFromNamesUnknown pins the unknown-name error contract: the message
+// names the bad pass and lists every legal spelling.
+func TestFromNamesUnknown(t *testing.T) {
+	_, err := FromNames([]string{"dce", "no-such-pass"})
+	if err == nil {
+		t.Fatal("expected error for unknown pass")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-pass"`) {
+		t.Errorf("error %q does not name the unknown pass", msg)
+	}
+	for _, legal := range LegalNames() {
+		if !strings.Contains(msg, legal) {
+			t.Errorf("error %q does not list legal name %q", msg, legal)
+		}
+	}
+}

@@ -15,16 +15,22 @@ func TCFE() Pass {
 }
 
 func tcfeUnit(u *ir.Unit) (bool, error) {
+	// Merging and phi-to-mux conversion enable each other: converting a phi
+	// removes the obstacle that kept a forwarder or chain from merging, and
+	// a merge can bring a phi's operands into dominating position. Iterate
+	// both to a joint fixpoint, so one run reaches the state a repeated run
+	// would (pass idempotence, relied on by RunFixpoint convergence).
 	changed := false
 	for budget := 0; budget < 1000; budget++ {
 		if mergeOnce(u) {
 			changed = true
 			continue
 		}
+		if phiToMux(u) {
+			changed = true
+			continue
+		}
 		break
-	}
-	if phiToMux(u) {
-		changed = true
 	}
 	return changed, nil
 }

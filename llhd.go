@@ -67,14 +67,22 @@
 // repros. Run it as
 //
 //	llhd-fuzz -seed 1 -n 1000            # CLI: deterministic by seed
+//	llhd-fuzz -pipeline -seed 1 -n 1000  # random pass orderings, bisected
 //	go test -fuzz FuzzDifferential ./internal/fuzz
+//	go test -fuzz FuzzPassPipeline ./internal/fuzz
 //
 // (flags: -seed, -n, -budget, -corpus; output is byte-reproducible for a
 // fixed seed, and design i of a run reproduces alone via -seed S+i -n 1).
-// Checked-in findings live in testdata/corpus/ and replay on every test
-// run. WithStepLimit bounds a session to a deterministic number of
-// instants, which is how the harness turns miscompile-induced
-// oscillation into a reproducible failure instead of a hang.
+// Pipeline mode additionally draws a random sequence of §4 passes per
+// seed and re-runs the full oracle after every pass application, so a
+// divergence is bisected to the first pass that introduced it; the
+// reported pipeline replays verbatim through llhd-opt -passes, and the
+// shrunk repro carries it as a "; pipeline:" header directive that the
+// corpus replay honours. Checked-in findings live in testdata/corpus/
+// and replay on every test run. WithStepLimit bounds a session to a
+// deterministic number of instants, which is how the harness turns
+// miscompile-induced oscillation into a reproducible failure instead of
+// a hang.
 //
 // # Errors and resource governance
 //
